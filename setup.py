@@ -1,0 +1,12 @@
+"""Setup shim so editable installs work without the ``wheel`` package.
+
+The environment has no network access and no ``wheel`` distribution, so the
+PEP-517 editable path (which needs ``bdist_wheel``) is unavailable;
+``pip install -e . --no-build-isolation --no-use-pep517`` falls back to this
+classic ``setup.py develop`` path.  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

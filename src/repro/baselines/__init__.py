@@ -1,0 +1,22 @@
+"""Independent reference simulators used as "author implementation" stand-ins.
+
+The paper validates its scheduler implementations by comparing Blox against the
+schedulers' open-source simulators (Figs. 3-5).  Those artifacts are not
+redistributable here, so this package provides deliberately *independent*
+implementations of the same policies: compact, straight-line simulators that do
+not share code with the Blox abstractions.  Agreement between the two code
+paths plays the role the author implementations play in the paper.
+"""
+
+from repro.baselines.reference import ReferenceJob, simulate_reference
+from repro.baselines.tiresias_reference import simulate_tiresias_reference
+from repro.baselines.pollux_reference import simulate_pollux_reference
+from repro.baselines.synergy_reference import simulate_synergy_reference
+
+__all__ = [
+    "ReferenceJob",
+    "simulate_reference",
+    "simulate_tiresias_reference",
+    "simulate_pollux_reference",
+    "simulate_synergy_reference",
+]

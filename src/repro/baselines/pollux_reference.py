@@ -1,0 +1,73 @@
+"""Independent Pollux (goodput-driven elastic) reference simulator.
+
+Stand-in for the Pollux artifact simulator in the Fig. 3 reproduction: an
+elastic allocator that never preempts running jobs, grows allocations by
+marginal goodput and queues excess jobs, coded against the reference simulator
+rather than the Blox abstractions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set
+
+from repro.baselines.reference import ReferenceJob, simulate_reference
+from repro.core.job import Job
+
+
+def simulate_pollux_reference(
+    jobs: Sequence[Job],
+    total_gpus: int,
+    round_duration: float = 300.0,
+    efficiency_decay: float = 0.03,
+) -> List[ReferenceJob]:
+    """Run the trace through an independently coded goodput-maximising allocator."""
+    reference_jobs = [
+        ReferenceJob(
+            job_id=j.job_id,
+            arrival_time=j.arrival_time,
+            num_gpus=j.num_gpus,
+            duration=j.duration,
+            scaling_alpha=j.scaling.alpha,
+            max_useful_gpus=j.scaling.max_useful_gpus,
+        )
+        for j in jobs
+    ]
+    batch_scale = {j.job_id: max(1, j.max_batch_scale) for j in jobs}
+    started: Set[int] = set()
+
+    def goodput(job: ReferenceJob, gpus: int) -> float:
+        if gpus <= 0:
+            return 0.0
+        efficiency = 1.0 / (1.0 + efficiency_decay * (gpus - 1))
+        return job.speedup(gpus) * efficiency
+
+    def policy(active: List[ReferenceJob], capacity: int, now: float) -> Dict[int, int]:
+        allocation: Dict[int, int] = {job.job_id: 0 for job in active}
+        remaining = capacity
+        # Jobs that have already started keep at least one GPU (no preemption).
+        for job in sorted(active, key=lambda j: (j.arrival_time, j.job_id)):
+            if job.job_id in started and remaining > 0:
+                allocation[job.job_id] = 1
+                remaining -= 1
+        while remaining > 0:
+            best_id, best_gain = None, 1e-12
+            for job in active:
+                gpus = allocation[job.job_id]
+                cap = min(job.max_useful_gpus, job.num_gpus * batch_scale[job.job_id])
+                if gpus >= cap:
+                    continue
+                gain = goodput(job, gpus + 1) - goodput(job, gpus)
+                if gain > best_gain:
+                    best_gain, best_id = gain, job.job_id
+            if best_id is None:
+                break
+            allocation[best_id] += 1
+            remaining -= 1
+        for job_id, gpus in allocation.items():
+            if gpus > 0:
+                started.add(job_id)
+        return allocation
+
+    return simulate_reference(
+        reference_jobs, total_gpus, policy, round_duration=round_duration
+    )

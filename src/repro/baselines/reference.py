@@ -1,0 +1,131 @@
+"""A minimal, standalone round-based scheduler simulator.
+
+This simulator intentionally shares no code with :mod:`repro.core` or
+:mod:`repro.simulator`: it is the independent implementation the reproduction
+experiments (Figs. 3-5) compare the Blox-style implementation against.  It
+models a cluster as a single pool of GPUs (no placement effects), advances in
+fixed rounds, and delegates per-round allocation to a policy callback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.exceptions import ConfigurationError, SimulationError
+
+
+@dataclass
+class ReferenceJob:
+    """Plain job record for the reference simulator."""
+
+    job_id: int
+    arrival_time: float
+    num_gpus: int
+    duration: float
+    scaling_alpha: float = 0.05
+    max_useful_gpus: int = 16
+    cpu_demand_per_gpu: float = 3.0
+    # dynamic
+    work_done: float = 0.0
+    attained_service: float = 0.0
+    completion_time: Optional[float] = None
+    first_schedule_time: Optional[float] = None
+
+    def speedup(self, gpus: int) -> float:
+        if gpus <= 0:
+            return 0.0
+        effective = min(gpus, self.max_useful_gpus)
+        return effective / (1.0 + self.scaling_alpha * (effective - 1))
+
+    def rate(self, gpus: int) -> float:
+        """Progress per wall-clock second relative to the requested allocation."""
+        base = self.speedup(self.num_gpus)
+        if base <= 0:
+            return 0.0
+        return self.speedup(gpus) / base
+
+    @property
+    def finished(self) -> bool:
+        return self.completion_time is not None
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.duration - self.work_done)
+
+
+#: A policy maps (active jobs, total gpus, now) -> {job_id: allocated gpus}.
+AllocationPolicy = Callable[[List[ReferenceJob], int, float], Dict[int, int]]
+
+
+def simulate_reference(
+    jobs: Sequence[ReferenceJob],
+    total_gpus: int,
+    policy: AllocationPolicy,
+    round_duration: float = 300.0,
+    rate_modifier: Optional[Callable[[ReferenceJob, int], float]] = None,
+    max_rounds: int = 500_000,
+) -> List[ReferenceJob]:
+    """Run the reference simulation to completion and return the jobs.
+
+    ``rate_modifier(job, gpus)`` optionally scales a job's progress rate (used
+    by the Synergy reference to model CPU throttling).
+    """
+    if total_gpus < 1:
+        raise ConfigurationError("total_gpus must be >= 1")
+    pending = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+    active: List[ReferenceJob] = []
+    done: List[ReferenceJob] = []
+    now = 0.0
+    for _ in range(max_rounds):
+        while pending and pending[0].arrival_time <= now:
+            active.append(pending.pop(0))
+        if not pending and not active:
+            break
+
+        allocation = policy(active, total_gpus, now) if active else {}
+        used = sum(max(0, g) for g in allocation.values())
+        if used > total_gpus:
+            raise SimulationError(
+                f"reference policy allocated {used} GPUs but only {total_gpus} exist"
+            )
+
+        for job in list(active):
+            gpus = max(0, allocation.get(job.job_id, 0))
+            if gpus == 0:
+                continue
+            if job.first_schedule_time is None:
+                job.first_schedule_time = now
+            rate = job.rate(gpus)
+            if rate_modifier is not None:
+                rate *= rate_modifier(job, gpus)
+            if rate <= 0:
+                continue
+            time_needed = job.remaining / rate
+            if time_needed <= round_duration:
+                job.work_done = job.duration
+                job.completion_time = now + time_needed
+                job.attained_service += gpus * time_needed
+                active.remove(job)
+                done.append(job)
+            else:
+                job.work_done += round_duration * rate
+                job.attained_service += gpus * round_duration
+        now += round_duration
+    else:
+        raise SimulationError("reference simulation did not converge within max_rounds")
+    return done + active + pending
+
+
+def average_jct(jobs: Sequence[ReferenceJob]) -> float:
+    """Mean JCT across finished jobs of a reference simulation."""
+    finished = [j for j in jobs if j.finished]
+    if not finished:
+        return 0.0
+    return sum(j.completion_time - j.arrival_time for j in finished) / len(finished)
+
+
+def jct_list(jobs: Sequence[ReferenceJob]) -> List[float]:
+    return sorted(
+        j.completion_time - j.arrival_time for j in jobs if j.completion_time is not None
+    )

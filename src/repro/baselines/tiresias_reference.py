@@ -1,0 +1,58 @@
+"""Independent Tiresias (discrete 2D-LAS) reference simulator.
+
+Used as the stand-in for the Tiresias open-source simulator in the Fig. 4
+reproduction: the Blox-style Tiresias implementation and this straight-line
+implementation are run on the same trace and their JCT CDFs compared.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.baselines.reference import ReferenceJob, simulate_reference
+from repro.core.job import Job
+
+
+def _to_reference_jobs(jobs: Sequence[Job]) -> List[ReferenceJob]:
+    return [
+        ReferenceJob(
+            job_id=j.job_id,
+            arrival_time=j.arrival_time,
+            num_gpus=j.num_gpus,
+            duration=j.duration,
+            scaling_alpha=j.scaling.alpha,
+            max_useful_gpus=j.scaling.max_useful_gpus,
+            cpu_demand_per_gpu=j.cpu_demand_per_gpu,
+        )
+        for j in jobs
+    ]
+
+
+def simulate_tiresias_reference(
+    jobs: Sequence[Job],
+    total_gpus: int,
+    round_duration: float = 300.0,
+    queue_thresholds: Sequence[float] = (3600.0, 8 * 3600.0),
+) -> List[ReferenceJob]:
+    """Run the trace through an independently coded discrete-LAS simulator."""
+    thresholds = list(queue_thresholds)
+
+    def queue_of(job: ReferenceJob) -> int:
+        for index, threshold in enumerate(thresholds):
+            if job.attained_service < threshold:
+                return index
+        return len(thresholds)
+
+    def policy(active: List[ReferenceJob], capacity: int, now: float) -> Dict[int, int]:
+        allocation: Dict[int, int] = {}
+        remaining = capacity
+        ordered = sorted(active, key=lambda j: (queue_of(j), j.arrival_time, j.job_id))
+        for job in ordered:
+            if job.num_gpus <= remaining:
+                allocation[job.job_id] = job.num_gpus
+                remaining -= job.num_gpus
+        return allocation
+
+    return simulate_reference(
+        _to_reference_jobs(jobs), total_gpus, policy, round_duration=round_duration
+    )

@@ -1,0 +1,53 @@
+"""Failure injection for the cluster-management abstraction.
+
+The cluster management abstraction in Blox is responsible for detecting failed
+nodes and removing them from the schedulable pool.  For simulation we inject
+failures (and optional recoveries) with a seeded random process so tests are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.cluster_state import ClusterState
+from repro.core.exceptions import ConfigurationError
+
+
+@dataclass
+class FailureInjector:
+    """Randomly fails (and recovers) nodes at each scheduling round.
+
+    ``failure_prob`` is the per-node probability of failing in a given round;
+    ``recovery_prob`` the per-round probability that a failed node comes back.
+    With the defaults (both 0) the injector is a no-op, which is what the
+    paper's main experiments assume.
+    """
+
+    failure_prob: float = 0.0
+    recovery_prob: float = 0.0
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+    failed_rounds: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_prob <= 1.0:
+            raise ConfigurationError("failure_prob must be in [0, 1]")
+        if not 0.0 <= self.recovery_prob <= 1.0:
+            raise ConfigurationError("recovery_prob must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def step(self, cluster_state: ClusterState) -> List[int]:
+        """Apply one round of failures/recoveries; returns job ids to reschedule."""
+        affected_jobs: List[int] = []
+        if self.failure_prob == 0.0 and self.recovery_prob == 0.0:
+            return affected_jobs
+        for node in list(cluster_state.nodes.values()):
+            if not node.failed and self._rng.random() < self.failure_prob:
+                affected_jobs.extend(cluster_state.mark_node_failed(node.node_id))
+                self.failed_rounds += 1
+            elif node.failed and self._rng.random() < self.recovery_prob:
+                node.failed = False
+        return affected_jobs

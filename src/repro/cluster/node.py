@@ -1,0 +1,106 @@
+"""Node and GPU records that make up the cluster.
+
+A :class:`Node` holds fixed hardware facts (GPU type, CPU cores, memory,
+cross-node network bandwidth, intra-node GPU topology) plus mutable auxiliary
+resource accounting used by resource-sensitive schedulers such as Synergy.
+Per-GPU assignment state lives in :class:`~repro.core.cluster_state.ClusterState`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.gpu_types import GPUType, get_gpu_type
+from repro.cluster.topology import IntraNodeTopology, uniform_topology
+from repro.core.exceptions import AllocationError, ConfigurationError
+
+
+@dataclass
+class GPU:
+    """One accelerator in the cluster.
+
+    ``gpu_id`` is a cluster-global identifier; ``local_gpu_id`` is the index of
+    the GPU within its node, used by intra-node placement policies.
+    """
+
+    gpu_id: int
+    node_id: int
+    local_gpu_id: int
+    gpu_type: GPUType
+    job_id: Optional[int] = None
+
+    @property
+    def is_free(self) -> bool:
+        return self.job_id is None
+
+    @property
+    def state(self) -> str:
+        """Either ``"free"`` or ``"running"``, matching the Blox GPU table."""
+        return "free" if self.is_free else "running"
+
+
+@dataclass
+class Node:
+    """A server in the cluster."""
+
+    node_id: int
+    num_gpus: int
+    gpu_type_name: str = "v100"
+    cpu_cores: float = 32.0
+    mem_gb: float = 244.0
+    network_bw_gbps: float = 10.0
+    topology: Optional[IntraNodeTopology] = None
+    failed: bool = False
+    cpu_allocated: float = 0.0
+    mem_allocated: float = 0.0
+    _cpu_by_job: dict = field(default_factory=dict)
+    _mem_by_job: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise ConfigurationError(f"node {self.node_id} has {self.num_gpus} GPUs")
+        if self.topology is None:
+            self.topology = uniform_topology(self.num_gpus)
+        if self.topology.num_gpus != self.num_gpus:
+            raise ConfigurationError(
+                f"node {self.node_id}: topology covers {self.topology.num_gpus} GPUs, "
+                f"node has {self.num_gpus}"
+            )
+
+    @property
+    def gpu_type(self) -> GPUType:
+        return get_gpu_type(self.gpu_type_name)
+
+    @property
+    def cpu_free(self) -> float:
+        return self.cpu_cores - self.cpu_allocated
+
+    @property
+    def mem_free(self) -> float:
+        return self.mem_gb - self.mem_allocated
+
+    def allocate_aux(self, job_id: int, cpus: float, mem_gb: float) -> None:
+        """Reserve CPU cores and memory for a job (Synergy-style accounting).
+
+        The reservation is additive per job so repeated launches on the same
+        node accumulate, and :meth:`release_aux` returns exactly what was taken.
+        """
+        if cpus < 0 or mem_gb < 0:
+            raise AllocationError("auxiliary resource demands must be non-negative")
+        self.cpu_allocated += cpus
+        self.mem_allocated += mem_gb
+        self._cpu_by_job[job_id] = self._cpu_by_job.get(job_id, 0.0) + cpus
+        self._mem_by_job[job_id] = self._mem_by_job.get(job_id, 0.0) + mem_gb
+
+    def release_aux(self, job_id: int) -> None:
+        """Release all CPU/memory previously reserved for ``job_id`` on this node."""
+        self.cpu_allocated -= self._cpu_by_job.pop(job_id, 0.0)
+        self.mem_allocated -= self._mem_by_job.pop(job_id, 0.0)
+        # Guard against floating point drift ever producing tiny negatives.
+        self.cpu_allocated = max(0.0, self.cpu_allocated)
+        self.mem_allocated = max(0.0, self.mem_allocated)
+
+    def aux_allocation(self, job_id: int) -> tuple:
+        """Return ``(cpus, mem_gb)`` currently reserved for a job on this node."""
+        return self._cpu_by_job.get(job_id, 0.0), self._mem_by_job.get(job_id, 0.0)

@@ -1,0 +1,104 @@
+"""Intra-node GPU interconnect topology.
+
+The bandwidth-aware intra-node placement policy (Blox §5.3, Table 4) exploits
+the fact that GPU pairs inside a server are connected with different link
+bandwidths (the motivation comes from Blink): on a p3.8xlarge, GPU 0 and GPU 3
+enjoy roughly twice the bandwidth of GPU 0 and GPU 1.  We model a node's
+interconnect as a symmetric pairwise bandwidth matrix in Gbps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Sequence
+
+from repro.core.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IntraNodeTopology:
+    """A symmetric matrix of pairwise GPU-to-GPU bandwidths within a node."""
+
+    bandwidth_gbps: tuple
+
+    def __post_init__(self) -> None:
+        n = len(self.bandwidth_gbps)
+        for row in self.bandwidth_gbps:
+            if len(row) != n:
+                raise ConfigurationError("intra-node bandwidth matrix must be square")
+        for i in range(n):
+            for j in range(n):
+                if abs(self.bandwidth_gbps[i][j] - self.bandwidth_gbps[j][i]) > 1e-9:
+                    raise ConfigurationError("intra-node bandwidth matrix must be symmetric")
+
+    @property
+    def num_gpus(self) -> int:
+        return len(self.bandwidth_gbps)
+
+    def pair_bandwidth(self, local_a: int, local_b: int) -> float:
+        """Bandwidth (Gbps) of the link between two local GPU indices."""
+        return self.bandwidth_gbps[local_a][local_b]
+
+    def aggregate_bandwidth(self, local_gpus: Sequence[int]) -> float:
+        """Average pairwise bandwidth across a set of local GPUs.
+
+        This is the metric tracked by the intra-node placement experiment
+        (Table 4): the bandwidth "observed" by a multi-GPU job placed on this
+        set of GPUs.  A single-GPU set has no communication, so we return 0.
+        """
+        gpus = list(local_gpus)
+        if len(gpus) < 2:
+            return 0.0
+        pairs = list(combinations(gpus, 2))
+        return sum(self.pair_bandwidth(a, b) for a, b in pairs) / len(pairs)
+
+    def best_subset(self, free_local_gpus: Sequence[int], count: int) -> List[int]:
+        """Pick ``count`` GPUs from the free set maximising aggregate bandwidth.
+
+        Nodes have at most a handful of GPUs so exhaustive search over subsets
+        is cheap and exact.
+        """
+        free = list(free_local_gpus)
+        if count <= 0:
+            return []
+        if len(free) < count:
+            raise ConfigurationError(
+                f"requested {count} GPUs but only {len(free)} are free on this node"
+            )
+        if count == 1:
+            return [free[0]]
+        best = None
+        best_bw = -1.0
+        for subset in combinations(free, count):
+            bw = self.aggregate_bandwidth(subset)
+            if bw > best_bw:
+                best_bw = bw
+                best = list(subset)
+        return best if best is not None else free[:count]
+
+
+def uniform_topology(num_gpus: int, bandwidth_gbps: float = 50.0) -> IntraNodeTopology:
+    """All GPU pairs connected at the same bandwidth (e.g. a full NVSwitch)."""
+    matrix = tuple(
+        tuple(0.0 if i == j else bandwidth_gbps for j in range(num_gpus))
+        for i in range(num_gpus)
+    )
+    return IntraNodeTopology(bandwidth_gbps=matrix)
+
+
+def p3_8xlarge_topology() -> IntraNodeTopology:
+    """The asymmetric 4-GPU NVLink topology of an AWS p3.8xlarge.
+
+    Bandwidths follow the imbalance highlighted by Blink: "diagonal" pairs
+    (0-3 and 1-2) have double-width NVLink connections (~100 Gbps) while the
+    remaining pairs have single links (~50 Gbps).
+    """
+    double, single = 100.0, 50.0
+    matrix = (
+        (0.0, single, single, double),
+        (single, 0.0, double, single),
+        (single, double, 0.0, single),
+        (double, single, single, 0.0),
+    )
+    return IntraNodeTopology(bandwidth_gbps=matrix)

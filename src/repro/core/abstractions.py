@@ -1,0 +1,181 @@
+"""The seven Blox abstractions as Python base classes.
+
+Blox decomposes a DL scheduler into (Figure 1 of the paper):
+
+1. **Job admission policy** -- gatekeeper for newly arriving jobs.
+2. **Cluster management** -- node add/remove, failure detection.
+3. **Job scheduling policy** -- prioritises runnable jobs each round.
+4. **Job placement policy** -- maps prioritised jobs to concrete GPUs.
+5. **Job launch mechanism** -- starts jobs on their assigned workers.
+6. **Job preemption and restart** -- checkpoints and stops jobs losing GPUs.
+7. **Metric collection** -- aggregates job- and cluster-level metrics.
+
+Every abstraction receives the two shared data structures
+(:class:`~repro.core.job_state.JobState` and
+:class:`~repro.core.cluster_state.ClusterState`) plus abstraction-specific
+inputs, matching Table 6 of the paper.  Concrete instances live in
+:mod:`repro.policies`; the simulation and deployment runtimes call them through
+these interfaces, which is what makes policies reusable across both paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.cluster_state import ClusterState
+from repro.core.job import Job
+from repro.core.job_state import JobState
+
+
+@dataclass(frozen=True)
+class ScheduleEntry:
+    """One row of the priority list produced by a scheduling policy.
+
+    ``gpu_demand`` is the number of GPUs the policy wants to give the job this
+    round.  For gang-scheduled policies this equals the job's request; elastic
+    policies (Optimus, Pollux) may ask for more or fewer GPUs.
+    ``gpu_type`` optionally pins the job to a GPU type (Gavel).
+    """
+
+    job_id: int
+    gpu_demand: int
+    gpu_type: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.gpu_demand < 0:
+            raise ValueError(f"gpu_demand must be >= 0, got {self.gpu_demand}")
+
+
+@dataclass
+class PlacementDecision:
+    """Output of a placement policy for one round.
+
+    ``to_launch`` maps job id -> concrete GPU ids the job should run on during
+    the coming round (this includes jobs that keep running on the same GPUs).
+    ``to_suspend`` lists jobs running in the previous round that must be
+    preempted (because they were not selected, or their placement changed).
+    """
+
+    to_launch: Dict[int, List[int]] = field(default_factory=dict)
+    to_suspend: List[int] = field(default_factory=list)
+
+    def launched_job_ids(self) -> List[int]:
+        return sorted(self.to_launch)
+
+
+class AdmissionPolicy:
+    """Decides which newly submitted jobs are allowed to enter the schedulable pool.
+
+    ``accept`` is called once per round with the jobs that arrived since the
+    previous round; it may hold jobs back internally (admission queue) and
+    release them in a later round, which is how the threshold policies used in
+    the composition case study (§5.1) work.
+    """
+
+    name = "admission"
+
+    def accept(
+        self,
+        new_jobs: Sequence[Job],
+        cluster_state: ClusterState,
+        job_state: JobState,
+    ) -> List[Job]:
+        raise NotImplementedError
+
+    def pending_jobs(self) -> List[Job]:
+        """Jobs currently held back by the policy (empty for accept-all)."""
+        return []
+
+
+class SchedulingPolicy:
+    """Orders runnable jobs by priority and decides their GPU demand for the round."""
+
+    name = "scheduling"
+
+    def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
+        raise NotImplementedError
+
+
+class PlacementPolicy:
+    """Maps the priority list to concrete GPUs and decides which jobs to suspend."""
+
+    name = "placement"
+
+    def place(
+        self,
+        schedule: Sequence[ScheduleEntry],
+        cluster_state: ClusterState,
+        job_state: JobState,
+    ) -> PlacementDecision:
+        raise NotImplementedError
+
+
+class ClusterManager:
+    """Tracks cluster membership: node arrivals, failures and removals."""
+
+    name = "cluster-management"
+
+    def update(self, cluster_state: ClusterState, current_time: float) -> List[int]:
+        """Apply membership changes; returns job ids that must be rescheduled."""
+        return []
+
+
+class MetricCollector:
+    """Aggregates job- and cluster-level metrics at the end of every round."""
+
+    name = "metric-collection"
+
+    def collect(
+        self,
+        job_state: JobState,
+        cluster_state: ClusterState,
+        current_time: float,
+    ) -> None:
+        return None
+
+
+class JobLauncher:
+    """Starts (or resumes) a job on its assigned GPUs.
+
+    In simulation this only updates job state and charges a launch overhead; the
+    deployment runtime instead instructs the per-node WorkerManager.
+    """
+
+    name = "job-launch"
+
+    def launch(
+        self,
+        job: Job,
+        gpu_ids: Sequence[int],
+        cluster_state: ClusterState,
+        current_time: float,
+    ) -> None:
+        raise NotImplementedError
+
+
+class PreemptionMechanism:
+    """Checkpoints and stops a job that loses its allocation this round."""
+
+    name = "job-preemption"
+
+    def preempt(self, job: Job, cluster_state: ClusterState, current_time: float) -> None:
+        raise NotImplementedError
+
+
+class TerminationPolicy:
+    """Decides when a job is done.
+
+    The default behaviour (epoch-based) finishes a job when it has executed the
+    work the user asked for; the loss-based policy of §5.3 terminates earlier
+    once the job's loss has converged.
+    """
+
+    name = "termination"
+
+    def work_target(self, job: Job) -> float:
+        """Seconds of (requested-allocation) work after which the job is complete."""
+        raise NotImplementedError
+
+    def is_complete(self, job: Job) -> bool:
+        return job.work_done >= self.work_target(job) - 1e-9

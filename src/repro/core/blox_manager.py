@@ -1,0 +1,135 @@
+"""``BloxManager``: the glue between the scheduling loop and the execution backend.
+
+In the paper the BloxManager maintains RPC endpoints for job submission and
+worker communication.  In simulation it owns the simulated clock, the wait
+queue of not-yet-arrived trace jobs, and the application of placement
+decisions (launch/suspend) to the shared state -- the methods called from the
+scheduling loop in Figure 2 of the paper (``update_cluster``,
+``update_metrics``, ``prune_completed_jobs``, ``pop_wait_queue``,
+``exec_jobs``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Optional
+
+from repro.core.abstractions import ClusterManager, PlacementDecision
+from repro.core.cluster_state import ClusterState
+from repro.core.exceptions import ConfigurationError
+from repro.core.job import Job, JobStatus
+from repro.core.job_state import JobState
+from repro.core.mechanisms import SimulatedLauncher, SimulatedPreemption
+from repro.simulator.execution import ExecutionModel
+
+
+class BloxManager:
+    """Drives simulated time and applies scheduling decisions to shared state."""
+
+    def __init__(
+        self,
+        trace_jobs: Iterable[Job],
+        round_duration: float = 300.0,
+        execution_model: Optional[ExecutionModel] = None,
+        launcher: Optional[SimulatedLauncher] = None,
+        preemptor: Optional[SimulatedPreemption] = None,
+        cluster_manager: Optional[ClusterManager] = None,
+        simulate: bool = True,
+    ) -> None:
+        if round_duration <= 0:
+            raise ConfigurationError(f"round_duration must be > 0, got {round_duration}")
+        self.round_duration = float(round_duration)
+        self.simulate = simulate
+        self.current_time = 0.0
+        self.round_number = 0
+        self.execution = execution_model if execution_model is not None else ExecutionModel()
+        overheads = self.execution.overheads
+        self.launcher = launcher if launcher is not None else SimulatedLauncher(overheads)
+        self.preemptor = preemptor if preemptor is not None else SimulatedPreemption(overheads)
+        self.cluster_manager = cluster_manager if cluster_manager is not None else ClusterManager()
+        self._wait_queue: Deque[Job] = deque(
+            sorted(trace_jobs, key=lambda j: (j.arrival_time, j.job_id))
+        )
+        self.terminate = False
+
+    # ------------------------------------------------------------------
+    # Loop steps (names follow Figure 2 in the paper)
+    # ------------------------------------------------------------------
+
+    def update_cluster(self, cluster_state: ClusterState) -> List[int]:
+        """Apply node membership changes; returns job ids affected by failures."""
+        return self.cluster_manager.update(cluster_state, self.current_time)
+
+    def update_metrics(self, cluster_state: ClusterState, job_state: JobState) -> None:
+        """Advance every running job over the round that just elapsed."""
+        if self.round_number == 0:
+            return
+        round_start = self.current_time - self.round_duration
+        for job in job_state.running_jobs():
+            self.execution.advance(job, cluster_state, round_start, self.round_duration)
+
+    def prune_completed_jobs(
+        self, cluster_state: ClusterState, job_state: JobState
+    ) -> List[Job]:
+        """Release resources held by jobs that finished during the last round."""
+        finished_holding_gpus = [
+            job
+            for job in job_state.finished_jobs()
+            if cluster_state.gpus_for_job(job.job_id)
+        ]
+        for job in finished_holding_gpus:
+            cluster_state.release_job(job.job_id)
+            job.allocated_gpus = []
+        return finished_holding_gpus
+
+    def pop_wait_queue(self, simulate: Optional[bool] = None) -> List[Job]:
+        """Return jobs whose arrival time has passed since the previous round."""
+        del simulate  # kept for signature parity with the paper's example
+        arrived: List[Job] = []
+        while self._wait_queue and self._wait_queue[0].arrival_time <= self.current_time:
+            arrived.append(self._wait_queue.popleft())
+        return arrived
+
+    def exec_jobs(
+        self,
+        decision: PlacementDecision,
+        cluster_state: ClusterState,
+        job_state: JobState,
+    ) -> None:
+        """Apply a placement decision: suspend first, then launch.
+
+        Jobs that keep exactly the GPUs they already hold are treated as lease
+        renewals and pay no overhead.
+        """
+        for job_id in decision.to_suspend:
+            job = job_state.get(job_id)
+            self.preemptor.preempt(job, cluster_state, self.current_time)
+
+        for job_id in sorted(decision.to_launch):
+            gpu_ids = decision.to_launch[job_id]
+            job = job_state.get(job_id)
+            if job.is_finished:
+                continue
+            if job.status == JobStatus.RUNNING and sorted(gpu_ids) == sorted(job.allocated_gpus):
+                continue  # lease renewed, nothing to do
+            if job.status == JobStatus.RUNNING:
+                # Placement changed without an explicit suspend: treat as a move.
+                self.preemptor.preempt(job, cluster_state, self.current_time)
+            self.launcher.launch(job, gpu_ids, cluster_state, self.current_time)
+
+    def advance_time(self) -> None:
+        """Move the simulated clock forward by one round."""
+        self.current_time += self.round_duration
+        self.round_number += 1
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_arrivals(self) -> int:
+        """Number of trace jobs that have not arrived yet."""
+        return len(self._wait_queue)
+
+    def all_arrived(self) -> bool:
+        return not self._wait_queue

@@ -1,0 +1,237 @@
+"""``ClusterState``: the shared view of machines and accelerators.
+
+Blox stores the cluster state in a tabular structure with one row per GPU
+(node id, global GPU id, local GPU id, GPU type, state, jobs running) plus a
+per-node dictionary of hardware facts.  This class provides the same view with
+query helpers used by placement policies, along with assignment bookkeeping
+that raises :class:`~repro.core.exceptions.AllocationError` on double
+allocation so inconsistent placement decisions are caught immediately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.cluster.node import GPU, Node
+from repro.core.exceptions import AllocationError, UnknownNodeError
+
+
+class ClusterState:
+    """Tracks every node and GPU in the cluster and which job occupies it."""
+
+    def __init__(self, nodes: Optional[Iterable[Node]] = None) -> None:
+        self.nodes: Dict[int, Node] = {}
+        self.gpus: Dict[int, GPU] = {}
+        self._next_gpu_id = 0
+        if nodes is not None:
+            for node in nodes:
+                self.add_node(node)
+
+    # ------------------------------------------------------------------
+    # Cluster management (add/remove nodes)
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> List[int]:
+        """Register a node and create GPU rows for it; returns new global GPU ids."""
+        if node.node_id in self.nodes:
+            raise AllocationError(f"node {node.node_id} is already part of the cluster")
+        self.nodes[node.node_id] = node
+        new_ids = []
+        for local_id in range(node.num_gpus):
+            gpu = GPU(
+                gpu_id=self._next_gpu_id,
+                node_id=node.node_id,
+                local_gpu_id=local_id,
+                gpu_type=node.gpu_type,
+            )
+            self.gpus[gpu.gpu_id] = gpu
+            new_ids.append(gpu.gpu_id)
+            self._next_gpu_id += 1
+        return new_ids
+
+    def remove_node(self, node_id: int) -> List[int]:
+        """Remove a node (e.g. on failure); returns ids of jobs that were running on it."""
+        if node_id not in self.nodes:
+            raise UnknownNodeError(node_id)
+        evicted_jobs = []
+        for gpu_id in [g.gpu_id for g in self.gpus.values() if g.node_id == node_id]:
+            gpu = self.gpus.pop(gpu_id)
+            if gpu.job_id is not None and gpu.job_id not in evicted_jobs:
+                evicted_jobs.append(gpu.job_id)
+        del self.nodes[node_id]
+        return evicted_jobs
+
+    def mark_node_failed(self, node_id: int) -> List[int]:
+        """Mark a node failed without removing it; returns jobs running on it."""
+        node = self.node(node_id)
+        node.failed = True
+        affected = sorted(
+            {g.job_id for g in self.gpus.values() if g.node_id == node_id and g.job_id is not None}
+        )
+        return affected
+
+    def node(self, node_id: int) -> Node:
+        if node_id not in self.nodes:
+            raise UnknownNodeError(node_id)
+        return self.nodes[node_id]
+
+    # ------------------------------------------------------------------
+    # Queries used by scheduling and placement policies
+    # ------------------------------------------------------------------
+
+    @property
+    def total_gpus(self) -> int:
+        return len(self.gpus)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def active_nodes(self) -> List[Node]:
+        """Nodes that have not been marked failed."""
+        return [n for n in self.nodes.values() if not n.failed]
+
+    def free_gpus(self, gpu_type: Optional[str] = None) -> List[GPU]:
+        """All unassigned GPUs on healthy nodes, optionally filtered by type."""
+        out = []
+        for gpu in self.gpus.values():
+            if not gpu.is_free:
+                continue
+            if self.nodes[gpu.node_id].failed:
+                continue
+            if gpu_type is not None and gpu.gpu_type.name != gpu_type.lower():
+                continue
+            out.append(gpu)
+        return sorted(out, key=lambda g: g.gpu_id)
+
+    def num_free_gpus(self, gpu_type: Optional[str] = None) -> int:
+        return len(self.free_gpus(gpu_type))
+
+    def gpus_on_node(self, node_id: int) -> List[GPU]:
+        if node_id not in self.nodes:
+            raise UnknownNodeError(node_id)
+        return sorted(
+            (g for g in self.gpus.values() if g.node_id == node_id),
+            key=lambda g: g.local_gpu_id,
+        )
+
+    def free_gpus_on_node(self, node_id: int) -> List[GPU]:
+        return [g for g in self.gpus_on_node(node_id) if g.is_free]
+
+    def gpus_for_job(self, job_id: int) -> List[GPU]:
+        return sorted(
+            (g for g in self.gpus.values() if g.job_id == job_id),
+            key=lambda g: g.gpu_id,
+        )
+
+    def nodes_for_job(self, job_id: int) -> List[int]:
+        """Distinct node ids hosting a job, sorted; empty if the job is not placed."""
+        return sorted({g.node_id for g in self.gpus_for_job(job_id)})
+
+    def job_is_consolidated(self, job_id: int) -> bool:
+        """True when all of a job's GPUs are on a single node."""
+        return len(self.nodes_for_job(job_id)) <= 1
+
+    def gpu(self, gpu_id: int) -> GPU:
+        if gpu_id not in self.gpus:
+            raise AllocationError(f"unknown GPU id {gpu_id}")
+        return self.gpus[gpu_id]
+
+    # ------------------------------------------------------------------
+    # Assignment bookkeeping
+    # ------------------------------------------------------------------
+
+    def assign(self, job_id: int, gpu_ids: Sequence[int]) -> None:
+        """Assign the given GPUs to a job.
+
+        All GPUs must currently be free; a partial assignment is rolled back on
+        error so the cluster state never ends up half-updated.
+        """
+        taken: List[int] = []
+        try:
+            for gpu_id in gpu_ids:
+                gpu = self.gpu(gpu_id)
+                if not gpu.is_free:
+                    raise AllocationError(
+                        f"GPU {gpu_id} is already assigned to job {gpu.job_id}, "
+                        f"cannot assign to job {job_id}"
+                    )
+                gpu.job_id = job_id
+                taken.append(gpu_id)
+        except AllocationError:
+            for gpu_id in taken:
+                self.gpus[gpu_id].job_id = None
+            raise
+
+    def release_job(self, job_id: int) -> List[int]:
+        """Free every GPU (and auxiliary resources) held by a job; returns freed GPU ids."""
+        freed = []
+        for gpu in self.gpus_for_job(job_id):
+            gpu.job_id = None
+            freed.append(gpu.gpu_id)
+        for node in self.nodes.values():
+            node.release_aux(job_id)
+        return freed
+
+    def utilization(self) -> float:
+        """Fraction of GPUs currently assigned to some job."""
+        if not self.gpus:
+            return 0.0
+        busy = sum(1 for g in self.gpus.values() if not g.is_free)
+        return busy / len(self.gpus)
+
+    # ------------------------------------------------------------------
+    # Tabular view (the Blox GPU dataframe)
+    # ------------------------------------------------------------------
+
+    def gpu_table(self) -> List[Dict[str, object]]:
+        """Return the per-GPU table as a list of dicts (one row per GPU)."""
+        rows = []
+        for gpu in sorted(self.gpus.values(), key=lambda g: g.gpu_id):
+            rows.append(
+                {
+                    "node_id": gpu.node_id,
+                    "gpu_id": gpu.gpu_id,
+                    "local_gpu_id": gpu.local_gpu_id,
+                    "gpu_type": gpu.gpu_type.name,
+                    "state": gpu.state,
+                    "job_id": gpu.job_id,
+                }
+            )
+        return rows
+
+    def snapshot(self) -> "ClusterState":
+        """Deep copy used by shadow simulations (synthesizer)."""
+        clone = ClusterState()
+        for node in self.nodes.values():
+            new_node = Node(
+                node_id=node.node_id,
+                num_gpus=node.num_gpus,
+                gpu_type_name=node.gpu_type_name,
+                cpu_cores=node.cpu_cores,
+                mem_gb=node.mem_gb,
+                network_bw_gbps=node.network_bw_gbps,
+                topology=node.topology,
+                failed=node.failed,
+            )
+            new_node.cpu_allocated = node.cpu_allocated
+            new_node.mem_allocated = node.mem_allocated
+            new_node._cpu_by_job = dict(node._cpu_by_job)
+            new_node._mem_by_job = dict(node._mem_by_job)
+            clone.nodes[new_node.node_id] = new_node
+        for gpu in self.gpus.values():
+            clone.gpus[gpu.gpu_id] = GPU(
+                gpu_id=gpu.gpu_id,
+                node_id=gpu.node_id,
+                local_gpu_id=gpu.local_gpu_id,
+                gpu_type=gpu.gpu_type,
+                job_id=gpu.job_id,
+            )
+        clone._next_gpu_id = self._next_gpu_id
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ClusterState(nodes={self.num_nodes}, gpus={self.total_gpus}, "
+            f"free={self.num_free_gpus()})"
+        )

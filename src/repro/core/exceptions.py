@@ -1,0 +1,49 @@
+"""Exception hierarchy shared across the toolkit.
+
+Every error raised by the toolkit derives from :class:`BloxError`, so callers can
+catch a single base class at the boundary of their own code.
+"""
+
+
+class BloxError(Exception):
+    """Base class for all errors raised by the repro toolkit."""
+
+
+class ConfigurationError(BloxError):
+    """A component was constructed or composed with invalid parameters."""
+
+
+class UnknownJobError(BloxError, KeyError):
+    """A job id was looked up that is not tracked by :class:`~repro.core.job_state.JobState`."""
+
+    def __init__(self, job_id):
+        super().__init__(f"unknown job id: {job_id!r}")
+        self.job_id = job_id
+
+
+class UnknownNodeError(BloxError, KeyError):
+    """A node id was looked up that is not part of the cluster."""
+
+    def __init__(self, node_id):
+        super().__init__(f"unknown node id: {node_id!r}")
+        self.node_id = node_id
+
+
+class AllocationError(BloxError):
+    """A placement decision is inconsistent with the cluster state.
+
+    Raised for example when a placement policy assigns a GPU that is already
+    assigned to another job, or assigns a GPU that does not exist.
+    """
+
+
+class LeaseError(BloxError):
+    """The lease protocol between scheduler and workers was violated."""
+
+
+class TraceFormatError(BloxError, ValueError):
+    """A workload trace file or record could not be parsed."""
+
+
+class SimulationError(BloxError):
+    """The simulation engine reached an inconsistent state."""

@@ -1,0 +1,137 @@
+"""``JobState``: the shared view of every job the scheduler knows about.
+
+Blox models job state as a flexible key-value store because different
+schedulers track different metrics.  Here each job is a
+:class:`~repro.core.job.Job` dataclass with an open ``metrics`` dictionary, and
+``JobState`` owns the collection: active jobs, jobs waiting for admission and
+finished jobs, plus the query helpers that scheduling policies rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.exceptions import UnknownJobError
+from repro.core.job import Job, JobStatus
+
+
+class JobState:
+    """Registry of all submitted jobs with status-based views."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[int, Job] = {}
+        #: Simulated (or wall-clock) time of the current round; the scheduling
+        #: loop refreshes this before invoking policies so policies that need a
+        #: notion of "now" (Themis' fairness estimate, Tiresias' starvation
+        #: guard, Optimus' convergence rate) can read it without a side channel.
+        self.current_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_new_jobs(self, jobs: Iterable[Job], current_time: float = 0.0) -> List[Job]:
+        """Add admitted jobs and mark them runnable.
+
+        Mirrors ``job_state.add_new_jobs(accepted_jobs)`` in the Blox workflow.
+        Returns the list of jobs added (useful for logging/tests).
+        """
+        added = []
+        for job in jobs:
+            job.status = JobStatus.RUNNABLE
+            if job.admitted_time is None:
+                job.admitted_time = current_time
+            self._jobs[job.job_id] = job
+            added.append(job)
+        return added
+
+    def track(self, job: Job) -> None:
+        """Track a job without changing its status (used for admission queues)."""
+        self._jobs[job.job_id] = job
+
+    def prune_completed_jobs(self) -> List[Job]:
+        """Return (but keep a record of) jobs that reached a terminal state.
+
+        The Blox loop calls this every round; we keep finished jobs in the
+        registry so that end-of-run metrics can be computed, but they no longer
+        appear in :meth:`active_jobs`.
+        """
+        return [job for job in self._jobs.values() if job.is_finished]
+
+    # ------------------------------------------------------------------
+    # Lookup and views
+    # ------------------------------------------------------------------
+
+    def get(self, job_id: int) -> Job:
+        if job_id not in self._jobs:
+            raise UnknownJobError(job_id)
+        return self._jobs[job_id]
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._jobs
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def all_jobs(self) -> List[Job]:
+        return sorted(self._jobs.values(), key=lambda j: j.job_id)
+
+    def jobs_with_status(self, *statuses: JobStatus) -> List[Job]:
+        wanted = set(statuses)
+        return sorted(
+            (j for j in self._jobs.values() if j.status in wanted),
+            key=lambda j: j.job_id,
+        )
+
+    def active_jobs(self) -> List[Job]:
+        """Jobs that have been admitted and still have work left."""
+        return [j for j in self.all_jobs() if j.status.is_active]
+
+    def running_jobs(self) -> List[Job]:
+        return self.jobs_with_status(JobStatus.RUNNING)
+
+    def runnable_jobs(self) -> List[Job]:
+        """Jobs eligible for scheduling this round (running or waiting to run)."""
+        return self.jobs_with_status(
+            JobStatus.RUNNABLE, JobStatus.RUNNING, JobStatus.PREEMPTED
+        )
+
+    def finished_jobs(self) -> List[Job]:
+        return [j for j in self.all_jobs() if j.is_finished]
+
+    def waiting_admission_jobs(self) -> List[Job]:
+        return self.jobs_with_status(JobStatus.WAITING_ADMISSION)
+
+    def filter(self, predicate: Callable[[Job], bool]) -> List[Job]:
+        """Generic filtered view, e.g. ``job_state.filter(lambda j: j.num_gpus > 4)``."""
+        return [j for j in self.all_jobs() if predicate(j)]
+
+    # ------------------------------------------------------------------
+    # Aggregates used by policies and experiments
+    # ------------------------------------------------------------------
+
+    def total_demand_gpus(self, statuses: Optional[Iterable[JobStatus]] = None) -> int:
+        """Sum of requested GPUs across jobs in the given statuses (active by default)."""
+        if statuses is None:
+            jobs = self.active_jobs()
+        else:
+            jobs = self.jobs_with_status(*statuses)
+        return sum(j.num_gpus for j in jobs)
+
+    def update_metric(self, job_id: int, key: str, value: object) -> None:
+        """Record an application-level metric for a job (loss, iteration time, ...)."""
+        self.get(job_id).metrics[key] = value
+
+    def snapshot(self) -> "JobState":
+        """Deep copy of the registry used by shadow simulations."""
+        clone = JobState()
+        clone.current_time = self.current_time
+        for job in self._jobs.values():
+            clone._jobs[job.job_id] = job.snapshot()
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"JobState(total={len(self._jobs)}, active={len(self.active_jobs())}, "
+            f"finished={len(self.finished_jobs())})"
+        )

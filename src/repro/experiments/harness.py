@@ -1,0 +1,129 @@
+"""Shared plumbing for the per-figure experiment runners.
+
+The runners all follow the same pattern: build a trace, build a cluster, run
+one simulation per policy/parameter combination, and report a small table of
+rows (the series the corresponding figure plots).  :func:`run_policy` performs
+one such simulation; :class:`ExperimentTable` is the common result container
+with a text rendering used by the examples and the ``__main__`` blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.abstractions import (
+    AdmissionPolicy,
+    MetricCollector,
+    PlacementPolicy,
+    SchedulingPolicy,
+    TerminationPolicy,
+)
+from repro.core.cluster_state import ClusterState
+from repro.cluster.builder import build_cluster
+from repro.simulator.engine import SimulationResult, Simulator
+from repro.simulator.overheads import OverheadModel
+from repro.workloads.trace import Trace
+
+
+@dataclass
+class PolicySpec:
+    """Factories for the policy modules one simulation composes.
+
+    Factories (rather than instances) are used because policies carry internal
+    state (admission queues, Tiresias' starvation clock) that must not leak
+    between runs.
+    """
+
+    label: str
+    scheduling: Callable[[], SchedulingPolicy]
+    placement: Optional[Callable[[], PlacementPolicy]] = None
+    admission: Optional[Callable[[], AdmissionPolicy]] = None
+    termination: Optional[Callable[[], TerminationPolicy]] = None
+
+
+@dataclass
+class ExperimentTable:
+    """Rows of one reproduced table/figure plus free-form metadata."""
+
+    name: str
+    description: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, **values: object) -> None:
+        self.rows.append(dict(values))
+
+    def column(self, key: str) -> List[object]:
+        return [row.get(key) for row in self.rows]
+
+    def rows_where(self, **criteria: object) -> List[Dict[str, object]]:
+        out = []
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in criteria.items()):
+                out.append(row)
+        return out
+
+    def to_text(self) -> str:
+        """Render the table as aligned plain text (used by examples and __main__)."""
+        lines = [f"== {self.name} ==", self.description]
+        if not self.rows:
+            lines.append("(no rows)")
+            return "\n".join(lines)
+        columns = list(self.rows[0].keys())
+        widths = {c: max(len(c), *(len(_fmt(r.get(c))) for r in self.rows)) for c in columns}
+        header = "  ".join(c.ljust(widths[c]) for c in columns)
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(_fmt(row.get(c)).ljust(widths[c]) for c in columns))
+        return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def run_policy(
+    trace: Trace,
+    spec: PolicySpec,
+    num_nodes: int,
+    gpus_per_node: int = 4,
+    gpu_type: str = "v100",
+    network_bw_gbps: float = 10.0,
+    round_duration: float = 300.0,
+    overhead_model: Optional[OverheadModel] = None,
+    metric_collectors: Sequence[MetricCollector] = (),
+    cluster: Optional[ClusterState] = None,
+    tracked_job_ids: Optional[Sequence[int]] = None,
+    max_rounds: int = 200_000,
+) -> SimulationResult:
+    """Run one simulation of ``trace`` under ``spec`` on a fresh cluster.
+
+    ``tracked_job_ids`` overrides the trace's own tracked window; experiments
+    that augment a trace (e.g. spike injection) use it to keep reporting the
+    original steady-state jobs.
+    """
+    if cluster is None:
+        cluster = build_cluster(
+            num_nodes=num_nodes,
+            gpus_per_node=gpus_per_node,
+            gpu_type=gpu_type,
+            network_bw_gbps=network_bw_gbps,
+        )
+    simulator = Simulator(
+        cluster_state=cluster,
+        jobs=trace.fresh_jobs(),
+        scheduling_policy=spec.scheduling(),
+        placement_policy=spec.placement() if spec.placement else None,
+        admission_policy=spec.admission() if spec.admission else None,
+        termination_policy=spec.termination() if spec.termination else None,
+        round_duration=round_duration,
+        overhead_model=overhead_model,
+        metric_collectors=metric_collectors,
+        tracked_job_ids=list(tracked_job_ids) if tracked_job_ids is not None else trace.tracked_ids(),
+        max_rounds=max_rounds,
+    )
+    return simulator.run()

@@ -1,0 +1,20 @@
+"""Scheduler evaluation metrics: JCT, responsiveness, makespan, CDFs."""
+
+from repro.metrics.summary import (
+    average,
+    percentile,
+    cdf_points,
+    jct_summary,
+    SummaryStats,
+)
+from repro.metrics.collector import UtilizationCollector, ApplicationMetricCollector
+
+__all__ = [
+    "average",
+    "percentile",
+    "cdf_points",
+    "jct_summary",
+    "SummaryStats",
+    "UtilizationCollector",
+    "ApplicationMetricCollector",
+]

@@ -1,0 +1,100 @@
+"""Summary statistics used across the paper's figures.
+
+All the evaluation figures report either an average (JCT, responsiveness) or a
+CDF of job completion times.  These helpers are deliberately dependency-light
+(plain Python lists in, plain Python numbers out) so they can be used from
+benchmarks and tests without importing the whole simulator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.job import Job
+
+
+def average(values: Iterable[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty input (so plots of empty sweeps don't crash)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+def cdf_points(values: Sequence[float]) -> Tuple[List[float], List[float]]:
+    """Return ``(sorted_values, cumulative_fractions)`` for a CDF plot."""
+    ordered = sorted(values)
+    n = len(ordered)
+    fractions = [(i + 1) / n for i in range(n)] if n else []
+    return ordered, fractions
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Aggregate statistics over a set of finished jobs."""
+
+    count: int
+    avg_jct: float
+    median_jct: float
+    p95_jct: float
+    avg_responsiveness: float
+    makespan: float
+    avg_preemptions: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "avg_jct": self.avg_jct,
+            "median_jct": self.median_jct,
+            "p95_jct": self.p95_jct,
+            "avg_responsiveness": self.avg_responsiveness,
+            "makespan": self.makespan,
+            "avg_preemptions": self.avg_preemptions,
+        }
+
+
+def jct_summary(jobs: Sequence[Job], tracked_ids: Optional[Sequence[int]] = None) -> SummaryStats:
+    """Compute the paper's headline metrics over finished jobs.
+
+    ``tracked_ids`` restricts the computation to a subset of jobs (the paper
+    tracks jobs 3000-4000 of the Philly trace to measure steady-state
+    behaviour); jobs in the subset that never finished are ignored.
+    """
+    if tracked_ids is not None:
+        wanted = set(tracked_ids)
+        jobs = [j for j in jobs if j.job_id in wanted]
+    finished = [j for j in jobs if j.completion_time is not None]
+    jcts = [j.job_completion_time() for j in finished]
+    responsiveness = [j.responsiveness() for j in finished if j.responsiveness() is not None]
+    makespan = 0.0
+    if finished:
+        makespan = max(j.completion_time for j in finished) - min(j.arrival_time for j in finished)
+    return SummaryStats(
+        count=len(finished),
+        avg_jct=average(jcts),
+        median_jct=percentile(jcts, 50),
+        p95_jct=percentile(jcts, 95),
+        avg_responsiveness=average(responsiveness),
+        makespan=makespan,
+        avg_preemptions=average([j.num_preemptions for j in finished]),
+    )

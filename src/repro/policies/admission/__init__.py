@@ -1,0 +1,7 @@
+"""Job admission policies: gatekeeping newly submitted jobs."""
+
+from repro.policies.admission.accept_all import AcceptAll
+from repro.policies.admission.threshold import ThresholdAdmission
+from repro.policies.admission.quota import UserQuotaAdmission
+
+__all__ = ["AcceptAll", "ThresholdAdmission", "UserQuotaAdmission"]

@@ -1,0 +1,28 @@
+"""The default admission policy: accept every submitted job immediately."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.abstractions import AdmissionPolicy
+from repro.core.cluster_state import ClusterState
+from repro.core.job import Job
+from repro.core.job_state import JobState
+
+
+class AcceptAll(AdmissionPolicy):
+    """Admit every arriving job into the schedulable pool.
+
+    This is the admission policy implicitly used by most prior schedulers and
+    the "Accept All" baseline in the composition case study (§5.1).
+    """
+
+    name = "accept-all"
+
+    def accept(
+        self,
+        new_jobs: Sequence[Job],
+        cluster_state: ClusterState,
+        job_state: JobState,
+    ) -> List[Job]:
+        return list(new_jobs)

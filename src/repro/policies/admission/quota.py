@@ -1,0 +1,70 @@
+"""Per-user quota admission, one of the "possible instances" listed in Table 5."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Sequence
+
+from repro.core.abstractions import AdmissionPolicy
+from repro.core.cluster_state import ClusterState
+from repro.core.exceptions import ConfigurationError
+from repro.core.job import Job, JobStatus
+from repro.core.job_state import JobState
+
+
+class UserQuotaAdmission(AdmissionPolicy):
+    """Limit the number of GPUs each user may have admitted at once.
+
+    Jobs exceeding their user's quota wait in a per-user FIFO queue and are
+    released as that user's earlier jobs finish.  ``default_quota`` applies to
+    users without an explicit entry in ``quotas``.
+    """
+
+    name = "user-quota"
+
+    def __init__(self, default_quota: int = 16, quotas: Dict[str, int] = None) -> None:
+        if default_quota < 1:
+            raise ConfigurationError("default_quota must be >= 1")
+        self.default_quota = default_quota
+        self.quotas = dict(quotas or {})
+        for user, quota in self.quotas.items():
+            if quota < 1:
+                raise ConfigurationError(f"quota for user {user!r} must be >= 1")
+        self._queues: Dict[str, Deque[Job]] = {}
+
+    def pending_jobs(self) -> List[Job]:
+        pending: List[Job] = []
+        for queue in self._queues.values():
+            pending.extend(queue)
+        return sorted(pending, key=lambda j: j.job_id)
+
+    def _quota_for(self, user: str) -> int:
+        return self.quotas.get(user, self.default_quota)
+
+    def _user_usage(self, job_state: JobState) -> Dict[str, int]:
+        usage: Dict[str, int] = {}
+        for job in job_state.active_jobs():
+            usage[job.user] = usage.get(job.user, 0) + job.num_gpus
+        return usage
+
+    def accept(
+        self,
+        new_jobs: Sequence[Job],
+        cluster_state: ClusterState,
+        job_state: JobState,
+    ) -> List[Job]:
+        for job in new_jobs:
+            job.status = JobStatus.WAITING_ADMISSION
+            self._queues.setdefault(job.user, deque()).append(job)
+
+        usage = self._user_usage(job_state)
+        accepted: List[Job] = []
+        for user in sorted(self._queues):
+            queue = self._queues[user]
+            quota = self._quota_for(user)
+            used = usage.get(user, 0)
+            while queue and used + queue[0].num_gpus <= quota:
+                job = queue.popleft()
+                used += job.num_gpus
+                accepted.append(job)
+        return sorted(accepted, key=lambda j: j.arrival_time)

@@ -1,0 +1,212 @@
+"""Shared gang-placement machinery used by every placement policy.
+
+The placement abstraction receives the priority list produced by the scheduling
+policy and must answer two questions every round: which jobs run (given finite
+GPUs) and exactly which GPUs they run on.  The answer also implies which
+currently running jobs must be suspended.  :class:`BasePlacementPolicy`
+implements this round logic once; concrete policies only override
+:meth:`BasePlacementPolicy.select_gpus`, the part that differs between
+first-free, consolidated, skew-based, profile-based and bandwidth-aware
+placement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.node import GPU
+from repro.core.abstractions import PlacementDecision, PlacementPolicy, ScheduleEntry
+from repro.core.cluster_state import ClusterState
+from repro.core.job import Job, JobStatus
+from repro.core.job_state import JobState
+
+
+class AvailabilityView:
+    """Tracks which GPUs are available during one placement computation.
+
+    The view starts from the GPUs that are currently free on healthy nodes plus
+    the GPUs of jobs the policy has decided to suspend this round, and is
+    consumed as the policy hands out allocations.
+    """
+
+    def __init__(self, cluster_state: ClusterState, extra_gpu_ids: Sequence[int] = ()) -> None:
+        self.cluster_state = cluster_state
+        self._free_by_node: Dict[int, List[GPU]] = {}
+        free = {g.gpu_id for g in cluster_state.free_gpus()}
+        free.update(extra_gpu_ids)
+        for gpu_id in free:
+            gpu = cluster_state.gpu(gpu_id)
+            if cluster_state.node(gpu.node_id).failed:
+                continue
+            self._free_by_node.setdefault(gpu.node_id, []).append(gpu)
+        for gpus in self._free_by_node.values():
+            gpus.sort(key=lambda g: g.local_gpu_id)
+
+    def total_free(self) -> int:
+        return sum(len(g) for g in self._free_by_node.values())
+
+    def node_ids(self) -> List[int]:
+        return sorted(self._free_by_node)
+
+    def free_on_node(self, node_id: int) -> List[GPU]:
+        return list(self._free_by_node.get(node_id, []))
+
+    def free_count(self, node_id: int) -> int:
+        return len(self._free_by_node.get(node_id, []))
+
+    def nodes_by_free_count(self, descending: bool = True) -> List[int]:
+        """Node ids ordered by how many free GPUs they have (ties by node id)."""
+        return sorted(
+            self._free_by_node,
+            key=lambda n: (-self.free_count(n) if descending else self.free_count(n), n),
+        )
+
+    def take(self, gpu_ids: Sequence[int]) -> None:
+        """Remove GPUs from the view after they have been handed to a job."""
+        taken = set(gpu_ids)
+        for node_id in list(self._free_by_node):
+            remaining = [g for g in self._free_by_node[node_id] if g.gpu_id not in taken]
+            if remaining:
+                self._free_by_node[node_id] = remaining
+            else:
+                del self._free_by_node[node_id]
+
+
+class BasePlacementPolicy(PlacementPolicy):
+    """Round logic shared by all placement policies.
+
+    The placement proceeds in three steps:
+
+    1. *Selection*: walk the priority list and select jobs while GPUs remain
+       (the scheduling policy controls ordering and may itself truncate the
+       list, e.g. strict FIFO).
+    2. *Suspension*: running jobs that were not selected, or whose GPU demand
+       changed, are suspended; their GPUs become available.
+    3. *Allocation*: selected jobs that are not already running with the right
+       allocation receive concrete GPUs via :meth:`select_gpus`.
+    """
+
+    name = "base-placement"
+
+    def place(
+        self,
+        schedule: Sequence[ScheduleEntry],
+        cluster_state: ClusterState,
+        job_state: JobState,
+    ) -> PlacementDecision:
+        capacity = sum(
+            node.num_gpus for node in cluster_state.nodes.values() if not node.failed
+        )
+
+        selected: Dict[int, int] = {}
+        order: List[int] = []
+        remaining = capacity
+        for entry in schedule:
+            if entry.gpu_demand <= 0:
+                continue
+            if entry.job_id in selected:
+                continue
+            if entry.gpu_demand <= remaining:
+                selected[entry.job_id] = entry.gpu_demand
+                order.append(entry.job_id)
+                remaining -= entry.gpu_demand
+
+        decision = PlacementDecision()
+        kept: Dict[int, List[int]] = {}
+        suspended_gpus: List[int] = []
+        for job in job_state.running_jobs():
+            demand = selected.get(job.job_id)
+            if demand is not None and demand == len(job.allocated_gpus):
+                kept[job.job_id] = list(job.allocated_gpus)
+            else:
+                decision.to_suspend.append(job.job_id)
+                suspended_gpus.extend(job.allocated_gpus)
+
+        view = AvailabilityView(cluster_state, extra_gpu_ids=suspended_gpus)
+        # Kept jobs retain their GPUs; remove them from the availability view in
+        # case they were (incorrectly) reported free.
+        for gpu_ids in kept.values():
+            view.take(gpu_ids)
+
+        for job_id in order:
+            if job_id in kept:
+                decision.to_launch[job_id] = kept[job_id]
+                continue
+            job = job_state.get(job_id)
+            demand = selected[job_id]
+            if view.total_free() < demand:
+                continue
+            gpu_ids = self.select_gpus(job, demand, view, cluster_state)
+            if gpu_ids is None or len(gpu_ids) != demand:
+                continue
+            view.take(gpu_ids)
+            decision.to_launch[job_id] = sorted(gpu_ids)
+
+        return decision
+
+    # ------------------------------------------------------------------
+    # Hook for subclasses
+    # ------------------------------------------------------------------
+
+    def select_gpus(
+        self,
+        job: Job,
+        demand: int,
+        view: AvailabilityView,
+        cluster_state: ClusterState,
+    ) -> Optional[List[int]]:
+        """Pick ``demand`` GPU ids from the availability view for ``job``.
+
+        Return ``None`` (or a short list) if no acceptable placement exists; the
+        job then waits for the next round.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Reusable allocation strategies for subclasses
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _take_first_free(demand: int, view: AvailabilityView) -> Optional[List[int]]:
+        """Take the lowest-numbered free GPUs regardless of node boundaries."""
+        picked: List[int] = []
+        for node_id in view.node_ids():
+            for gpu in view.free_on_node(node_id):
+                picked.append(gpu.gpu_id)
+                if len(picked) == demand:
+                    return picked
+        return picked if len(picked) == demand else None
+
+    @staticmethod
+    def _take_consolidated(demand: int, view: AvailabilityView) -> Optional[List[int]]:
+        """Pack the job on as few nodes as possible (best fit on a single node)."""
+        # Best fit: the node with the fewest free GPUs that still fits the job.
+        single_node_candidates = [
+            node_id for node_id in view.node_ids() if view.free_count(node_id) >= demand
+        ]
+        if single_node_candidates:
+            best = min(single_node_candidates, key=lambda n: (view.free_count(n), n))
+            return [g.gpu_id for g in view.free_on_node(best)[:demand]]
+        # Otherwise spread over the fewest nodes, preferring the emptiest ones.
+        picked: List[int] = []
+        for node_id in view.nodes_by_free_count(descending=True):
+            for gpu in view.free_on_node(node_id):
+                picked.append(gpu.gpu_id)
+                if len(picked) == demand:
+                    return picked
+        return picked if len(picked) == demand else None
+
+    @staticmethod
+    def _take_fragment_friendly(demand: int, view: AvailabilityView) -> Optional[List[int]]:
+        """Fill up the fullest nodes first, minimising future fragmentation.
+
+        Used for jobs that do not care about consolidation: they can absorb the
+        scattered single GPUs, leaving contiguous blocks for jobs that do care.
+        """
+        picked: List[int] = []
+        for node_id in view.nodes_by_free_count(descending=False):
+            for gpu in view.free_on_node(node_id):
+                picked.append(gpu.gpu_id)
+                if len(picked) == demand:
+                    return picked
+        return picked if len(picked) == demand else None

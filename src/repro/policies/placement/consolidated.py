@@ -1,0 +1,30 @@
+"""Consolidated placement: pack every job onto as few nodes as possible."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.cluster_state import ClusterState
+from repro.core.job import Job
+from repro.policies.placement.base import AvailabilityView, BasePlacementPolicy
+
+
+class ConsolidatedPlacement(BasePlacementPolicy):
+    """Maximise consolidation for all jobs.
+
+    Used as the default placement in the paper's scheduling-policy comparisons
+    (§4.2) and shown in §4.3 to outperform the skew heuristic on V100 clusters
+    with slow (10 Gbps) interconnects, where fragmenting any distributed job is
+    expensive.
+    """
+
+    name = "consolidated"
+
+    def select_gpus(
+        self,
+        job: Job,
+        demand: int,
+        view: AvailabilityView,
+        cluster_state: ClusterState,
+    ) -> Optional[List[int]]:
+        return self._take_consolidated(demand, view)

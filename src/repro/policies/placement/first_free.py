@@ -1,0 +1,29 @@
+"""First-free placement: the simplest possible mapping of jobs to GPUs."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.cluster_state import ClusterState
+from repro.core.job import Job
+from repro.policies.placement.base import AvailabilityView, BasePlacementPolicy
+
+
+class FirstFreePlacement(BasePlacementPolicy):
+    """Allocate the lowest-numbered free GPUs, ignoring node boundaries.
+
+    This is the "First-Free GPU placement policy" used in the fidelity
+    experiment (Fig. 18) and a useful baseline for placement studies: multi-GPU
+    jobs frequently end up fragmented across servers.
+    """
+
+    name = "first-free"
+
+    def select_gpus(
+        self,
+        job: Job,
+        demand: int,
+        view: AvailabilityView,
+        cluster_state: ClusterState,
+    ) -> Optional[List[int]]:
+        return self._take_first_free(demand, view)

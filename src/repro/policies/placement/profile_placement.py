@@ -1,0 +1,33 @@
+"""Profile-based placement ("Tiresias+" in the paper).
+
+Instead of guessing placement sensitivity from tensor skew, this policy reads
+the ground-truth consolidation preference obtained by profiling the model on
+the target hardware (the job's ``placement_sensitive`` flag).  Section 4.3
+shows the gap between the skew heuristic and this profile-driven policy grows
+as more of the workload becomes placement sensitive.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.cluster_state import ClusterState
+from repro.core.job import Job
+from repro.policies.placement.base import AvailabilityView, BasePlacementPolicy
+
+
+class ProfilePlacement(BasePlacementPolicy):
+    """Consolidate exactly the jobs whose profiles say they benefit from it."""
+
+    name = "tiresias-plus"
+
+    def select_gpus(
+        self,
+        job: Job,
+        demand: int,
+        view: AvailabilityView,
+        cluster_state: ClusterState,
+    ) -> Optional[List[int]]:
+        if job.placement_sensitive:
+            return self._take_consolidated(demand, view)
+        return self._take_fragment_friendly(demand, view)

@@ -1,0 +1,64 @@
+"""Synergy's resource-sensitive placement.
+
+Synergy schedules CPU cores and host memory alongside GPUs.  Two modes are
+reproduced from the paper's Figure 5 experiment:
+
+* ``proportional`` -- every job receives the GPU-proportional share of the
+  node's CPUs and memory (a job using 1 of 4 GPUs gets a quarter of the CPUs),
+  regardless of what the model actually needs.  CPU-hungry jobs are throttled.
+* ``tune`` (Synergy-Tune) -- jobs are given their profiled CPU/memory demand
+  whenever the node can supply it, with CPU-light jobs implicitly donating
+  their unused share.
+
+The requested per-GPU CPU/memory allocation is written into the job's metrics;
+the launch mechanism reserves it on the nodes and derives the CPU throughput
+factor consumed by the execution model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.cluster_state import ClusterState
+from repro.core.exceptions import ConfigurationError
+from repro.core.job import Job
+from repro.policies.placement.base import AvailabilityView, BasePlacementPolicy
+
+PROPORTIONAL = "proportional"
+TUNE = "tune"
+
+
+class SynergyPlacement(BasePlacementPolicy):
+    """Consolidated placement plus CPU/memory allocation in one of two modes."""
+
+    def __init__(self, mode: str = TUNE) -> None:
+        if mode not in (PROPORTIONAL, TUNE):
+            raise ConfigurationError(f"mode must be '{PROPORTIONAL}' or '{TUNE}', got {mode!r}")
+        self.mode = mode
+        self.name = f"synergy-{mode}"
+
+    def select_gpus(
+        self,
+        job: Job,
+        demand: int,
+        view: AvailabilityView,
+        cluster_state: ClusterState,
+    ) -> Optional[List[int]]:
+        gpu_ids = self._take_consolidated(demand, view)
+        if gpu_ids is None:
+            return None
+        self._record_aux_request(job, gpu_ids, cluster_state)
+        return gpu_ids
+
+    def _record_aux_request(self, job: Job, gpu_ids: List[int], cluster_state: ClusterState) -> None:
+        """Record the per-GPU CPU/memory share the launcher should reserve."""
+        first_node = cluster_state.gpu(gpu_ids[0]).node_id
+        node = cluster_state.node(first_node)
+        proportional_cpu = node.cpu_cores / node.num_gpus
+        proportional_mem = node.mem_gb / node.num_gpus
+        if self.mode == PROPORTIONAL:
+            job.metrics["cpu_alloc_per_gpu"] = proportional_cpu
+            job.metrics["mem_alloc_per_gpu"] = proportional_mem
+        else:
+            job.metrics["cpu_alloc_per_gpu"] = job.cpu_demand_per_gpu
+            job.metrics["mem_alloc_per_gpu"] = job.mem_demand_per_gpu

@@ -1,0 +1,44 @@
+"""The Tiresias placement heuristic: consolidate only jobs with high tensor skew.
+
+Tiresias observes that models whose parameter tensors are highly skewed in size
+suffer most from network contention and therefore benefit from consolidation;
+other jobs can be spread across servers to reduce fragmentation.  The heuristic
+uses a skew threshold measured from the model; the paper's §4.3 shows that the
+heuristic's accuracy (and hence the policy's benefit) depends on hardware and
+on the workload mix, motivating the profile-based variant ``Tiresias+``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.cluster_state import ClusterState
+from repro.core.exceptions import ConfigurationError
+from repro.core.job import Job
+from repro.policies.placement.base import AvailabilityView, BasePlacementPolicy
+
+
+class TiresiasPlacement(BasePlacementPolicy):
+    """Consolidate jobs whose model skew exceeds ``skew_threshold``; spread the rest."""
+
+    name = "tiresias-placement"
+
+    def __init__(self, skew_threshold: float = 0.5) -> None:
+        if skew_threshold < 0:
+            raise ConfigurationError("skew_threshold must be >= 0")
+        self.skew_threshold = skew_threshold
+
+    def wants_consolidation(self, job: Job) -> bool:
+        """The skew-based heuristic's guess at whether the job is placement sensitive."""
+        return job.skew > self.skew_threshold
+
+    def select_gpus(
+        self,
+        job: Job,
+        demand: int,
+        view: AvailabilityView,
+        cluster_state: ClusterState,
+    ) -> Optional[List[int]]:
+        if self.wants_consolidation(job):
+            return self._take_consolidated(demand, view)
+        return self._take_fragment_friendly(demand, view)

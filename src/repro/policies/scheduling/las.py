@@ -1,0 +1,30 @@
+"""Least Attained Service scheduling (single queue).
+
+The single-queue LAS policy from Tiresias prioritises jobs that have consumed
+the least GPU-time so far, which approximates shortest-job-first without
+knowing job durations.  New arrivals have zero attained service so they always
+get a shot at resources quickly (good responsiveness), at the cost of
+preempting long-running jobs (which hurts their JCT at high load -- the
+trade-off the composition case study in §5.1 addresses with admission control).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.abstractions import ScheduleEntry, SchedulingPolicy
+from repro.core.cluster_state import ClusterState
+from repro.core.job_state import JobState
+
+
+class LasScheduling(SchedulingPolicy):
+    """Prioritise jobs by ascending attained GPU-service."""
+
+    name = "las"
+
+    def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
+        ordered = sorted(
+            job_state.runnable_jobs(),
+            key=lambda j: (j.attained_service, j.arrival_time, j.job_id),
+        )
+        return [ScheduleEntry(job_id=j.job_id, gpu_demand=j.num_gpus) for j in ordered]

@@ -1,0 +1,162 @@
+"""Nexus-style inference scheduling (Blox Appendix C).
+
+Nexus serves DNN inference: a global scheduler decides, for every model, how
+many GPUs to dedicate and which batch size to use so that the aggregate
+request rate is served within each model's latency SLO.  Blox's appendix
+sketches how the Nexus global scheduler maps onto the scheduling-policy
+abstraction; we reproduce that prototype as a self-contained planner (the
+"squishy bin packing" step) that experiments and the App-C benchmark exercise
+with synthetic request streams.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class InferenceModel:
+    """An inference workload: request rate, SLO and a linear batch-latency profile.
+
+    Executing a batch of ``b`` requests takes ``base_latency_ms + b *
+    per_item_latency_ms`` milliseconds on one GPU, the standard linear profile
+    Nexus assumes.
+    """
+
+    name: str
+    request_rate: float          # requests per second arriving at the frontends
+    slo_ms: float                # end-to-end latency objective
+    base_latency_ms: float       # fixed per-batch cost
+    per_item_latency_ms: float   # marginal cost per request in the batch
+
+    def __post_init__(self) -> None:
+        if self.request_rate < 0:
+            raise ConfigurationError("request_rate must be >= 0")
+        if self.slo_ms <= 0 or self.base_latency_ms <= 0 or self.per_item_latency_ms <= 0:
+            raise ConfigurationError("latencies and SLO must be > 0")
+
+    def batch_latency_ms(self, batch_size: int) -> float:
+        return self.base_latency_ms + batch_size * self.per_item_latency_ms
+
+    def max_batch_for_slo(self) -> int:
+        """Largest batch whose queueing + execution latency fits in the SLO.
+
+        Nexus budgets half the SLO for batching delay and half for execution,
+        so the execution latency of the chosen batch must stay below SLO/2.
+        """
+        budget = self.slo_ms / 2.0
+        batch = int((budget - self.base_latency_ms) // self.per_item_latency_ms)
+        return max(1, batch)
+
+    def throughput_at(self, batch_size: int) -> float:
+        """Requests per second one GPU sustains at the given batch size."""
+        return batch_size / (self.batch_latency_ms(batch_size) / 1000.0)
+
+
+@dataclass(frozen=True)
+class ModelAllocation:
+    """Planner output for one model."""
+
+    model: str
+    batch_size: int
+    full_gpus: int
+    fractional_share: float      # share of a shared GPU (0 when none needed)
+    throughput_per_gpu: float
+
+    @property
+    def total_gpus(self) -> float:
+        return self.full_gpus + self.fractional_share
+
+
+@dataclass
+class NexusPlan:
+    """A full allocation plan across models, the Nexus routing-table analogue."""
+
+    allocations: List[ModelAllocation]
+    shared_gpus: int
+    total_gpus_used: int
+
+    def allocation_for(self, model_name: str) -> ModelAllocation:
+        for alloc in self.allocations:
+            if alloc.model == model_name:
+                return alloc
+        raise ConfigurationError(f"no allocation for model {model_name!r}")
+
+
+class NexusScheduler:
+    """Squishy-bin-packing planner: GPUs and batch sizes per model under SLOs."""
+
+    name = "nexus"
+
+    def __init__(self, total_gpus: int) -> None:
+        if total_gpus < 1:
+            raise ConfigurationError("total_gpus must be >= 1")
+        self.total_gpus = total_gpus
+
+    def plan(self, models: Sequence[InferenceModel]) -> NexusPlan:
+        """Compute per-model GPU counts and batch sizes.
+
+        Each model first receives as many dedicated GPUs as its rate fully
+        saturates; the fractional leftovers of all models are then packed onto
+        shared GPUs (the "squishy" part), each shared GPU hosting residues that
+        sum to at most one GPU's worth of load.
+        """
+        allocations: List[ModelAllocation] = []
+        residues: List[float] = []
+        full_total = 0
+        for model in models:
+            batch = model.max_batch_for_slo()
+            throughput = model.throughput_at(batch)
+            gpus_needed = model.request_rate / throughput if throughput > 0 else 0.0
+            full = int(math.floor(gpus_needed))
+            residue = gpus_needed - full
+            allocations.append(
+                ModelAllocation(
+                    model=model.name,
+                    batch_size=batch,
+                    full_gpus=full,
+                    fractional_share=residue,
+                    throughput_per_gpu=throughput,
+                )
+            )
+            full_total += full
+            if residue > 1e-9:
+                residues.append(residue)
+
+        shared = self._pack_residues(residues)
+        total_used = full_total + shared
+        if total_used > self.total_gpus:
+            raise ConfigurationError(
+                f"workload needs {total_used} GPUs but only {self.total_gpus} are available; "
+                "an admission decision is required (drop models or relax SLOs)"
+            )
+        return NexusPlan(allocations=allocations, shared_gpus=shared, total_gpus_used=total_used)
+
+    @staticmethod
+    def _pack_residues(residues: List[float]) -> int:
+        """First-fit-decreasing packing of fractional GPU demands onto shared GPUs."""
+        bins: List[float] = []
+        for residue in sorted(residues, reverse=True):
+            for i, used in enumerate(bins):
+                if used + residue <= 1.0 + 1e-9:
+                    bins[i] = used + residue
+                    break
+            else:
+                bins.append(residue)
+        return len(bins)
+
+    def can_admit(self, models: Sequence[InferenceModel], candidate: InferenceModel) -> bool:
+        """Admission check: does adding ``candidate`` still fit on the cluster?
+
+        This is the joint scheduling/admission behaviour §8 of the paper
+        discusses: for inference the allocation decision doubles as admission.
+        """
+        try:
+            self.plan(list(models) + [candidate])
+        except ConfigurationError:
+            return False
+        return True

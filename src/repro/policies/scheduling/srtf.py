@@ -1,0 +1,28 @@
+"""Shortest Remaining Time First scheduling.
+
+SRTF prioritises the job that is closest to finishing, minimising average JCT
+when job durations are known (in simulation they are, via the trace).  It is
+one of the three policies the automatic scheduler synthesizer chooses between
+in §5.2 and wins on the bursty workload dominated by short jobs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.abstractions import ScheduleEntry, SchedulingPolicy
+from repro.core.cluster_state import ClusterState
+from repro.core.job_state import JobState
+
+
+class SrtfScheduling(SchedulingPolicy):
+    """Prioritise jobs by ascending remaining work."""
+
+    name = "srtf"
+
+    def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
+        ordered = sorted(
+            job_state.runnable_jobs(),
+            key=lambda j: (j.remaining_work, j.arrival_time, j.job_id),
+        )
+        return [ScheduleEntry(job_id=j.job_id, gpu_demand=j.num_gpus) for j in ordered]

@@ -1,0 +1,34 @@
+"""Synergy: resource-sensitive scheduling.
+
+Synergy observes that DNN jobs differ widely in how much CPU and host memory
+they need per GPU, and that allocating these auxiliary resources blindly (a
+GPU-proportional share) throttles CPU-hungry jobs.  In Blox terms Synergy
+modifies the scheduling policy (resource-sensitive FIFO ordering) and the
+placement policy (which performs the CPU/memory-aware packing -- see
+:class:`repro.policies.placement.synergy_placement.SynergyPlacement`).  The
+scheduling side here orders jobs FIFO but annotates each entry with the job's
+auxiliary demands so experiments can inspect them.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.abstractions import ScheduleEntry, SchedulingPolicy
+from repro.core.cluster_state import ClusterState
+from repro.core.job_state import JobState
+
+
+class SynergyScheduling(SchedulingPolicy):
+    """Resource-sensitive FIFO ordering used by both Synergy modes."""
+
+    name = "synergy"
+
+    def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
+        ordered = sorted(
+            job_state.runnable_jobs(), key=lambda j: (j.arrival_time, j.job_id)
+        )
+        for job in ordered:
+            job.metrics["cpu_demand"] = job.cpu_demand_per_gpu * job.num_gpus
+            job.metrics["mem_demand"] = job.mem_demand_per_gpu * job.num_gpus
+        return [ScheduleEntry(job_id=j.job_id, gpu_demand=j.num_gpus) for j in ordered]

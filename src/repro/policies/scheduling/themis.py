@@ -1,0 +1,58 @@
+"""Themis: finish-time fairness (FTF) scheduling.
+
+Themis defines a job's fairness metric rho as the ratio between its projected
+finish time under the shared cluster and its finish time had it run alone on
+its requested allocation.  Each round, Themis offers resources to the
+worst-off jobs (largest rho) -- a fraction controlled by the fairness knob
+``f`` -- which equalises rho across jobs over time.  The fair-share estimate
+for each job is recorded in its metrics every round (the paper's Table 7 notes
+Themis only needs the scheduling policy and metric collection modules).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.core.abstractions import ScheduleEntry, SchedulingPolicy
+from repro.core.cluster_state import ClusterState
+from repro.core.exceptions import ConfigurationError
+from repro.core.job import Job
+from repro.core.job_state import JobState
+
+
+class ThemisScheduling(SchedulingPolicy):
+    """Prioritise jobs with the worst finish-time fairness."""
+
+    name = "themis"
+
+    def __init__(self, fairness_knob: float = 0.8) -> None:
+        if not 0.0 <= fairness_knob < 1.0:
+            raise ConfigurationError("fairness_knob must be in [0, 1)")
+        self.fairness_knob = fairness_knob
+
+    def finish_time_fairness(self, job: Job, now: float) -> float:
+        """rho = projected shared finish time / isolated finish time."""
+        ideal = max(job.duration, 1e-9)
+        shared = (now - job.arrival_time) + job.remaining_work
+        return max(0.0, shared) / ideal
+
+    def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
+        now = getattr(job_state, "current_time", 0.0)
+        jobs = job_state.runnable_jobs()
+        if not jobs:
+            return []
+        scored = []
+        for job in jobs:
+            rho = self.finish_time_fairness(job, now)
+            job.metrics["finish_time_fairness"] = rho
+            scored.append((rho, job))
+        scored.sort(key=lambda pair: (-pair[0], pair[1].arrival_time, pair[1].job_id))
+
+        # The auction is only among the worst-off (1 - f) fraction of jobs;
+        # remaining jobs are appended afterwards so idle GPUs still get used.
+        cutoff = max(1, math.ceil((1.0 - self.fairness_knob) * len(scored)))
+        winners = [job for _, job in scored[:cutoff]]
+        backfill = [job for _, job in scored[cutoff:]]
+        ordered = winners + backfill
+        return [ScheduleEntry(job_id=j.job_id, gpu_demand=j.num_gpus) for j in ordered]

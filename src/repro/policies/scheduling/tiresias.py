@@ -1,0 +1,72 @@
+"""Tiresias: discretised two-dimensional LAS (Gittins-index style multi-queue).
+
+Tiresias assigns each job a priority queue based on its attained GPU-service
+(GPU count x time).  Jobs start in the highest-priority queue and are demoted
+as their attained service crosses configurable thresholds; within a queue jobs
+run FIFO, across queues higher-priority queues win.  Discretising priorities
+avoids the continuous-LAS pathology of constantly swapping jobs whose attained
+service is nearly equal.  An optional starvation guard promotes jobs back to
+the top queue once they have been runnable-but-not-running for too long
+(Tiresias' PROMOTE knob).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.abstractions import ScheduleEntry, SchedulingPolicy
+from repro.core.cluster_state import ClusterState
+from repro.core.exceptions import ConfigurationError
+from repro.core.job import Job, JobStatus
+from repro.core.job_state import JobState
+
+#: Default queue thresholds in GPU-seconds: jobs move to a lower-priority queue
+#: after 1 GPU-hour and again after 8 GPU-hours of attained service.
+DEFAULT_QUEUE_THRESHOLDS = (3600.0, 8 * 3600.0)
+
+
+class TiresiasScheduling(SchedulingPolicy):
+    """Discrete-LAS scheduling with configurable queue thresholds."""
+
+    name = "tiresias"
+
+    def __init__(
+        self,
+        queue_thresholds: Sequence[float] = DEFAULT_QUEUE_THRESHOLDS,
+        starvation_promote_after: float = float("inf"),
+    ) -> None:
+        thresholds = list(queue_thresholds)
+        if any(t <= 0 for t in thresholds):
+            raise ConfigurationError("queue thresholds must be positive")
+        if thresholds != sorted(thresholds):
+            raise ConfigurationError("queue thresholds must be increasing")
+        self.queue_thresholds = thresholds
+        self.starvation_promote_after = starvation_promote_after
+        self._last_run_time: Dict[int, float] = {}
+
+    @property
+    def num_queues(self) -> int:
+        return len(self.queue_thresholds) + 1
+
+    def queue_index(self, job: Job) -> int:
+        """The discrete priority queue a job currently belongs to (0 = highest)."""
+        for index, threshold in enumerate(self.queue_thresholds):
+            if job.attained_service < threshold:
+                return index
+        return len(self.queue_thresholds)
+
+    def _effective_queue(self, job: Job, now: float) -> int:
+        if job.status == JobStatus.RUNNING:
+            self._last_run_time[job.job_id] = now
+        waited = now - self._last_run_time.get(job.job_id, job.arrival_time)
+        if waited >= self.starvation_promote_after:
+            return 0
+        return self.queue_index(job)
+
+    def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
+        now = getattr(job_state, "current_time", 0.0)
+        ordered = sorted(
+            job_state.runnable_jobs(),
+            key=lambda j: (self._effective_queue(j, now), j.arrival_time, j.job_id),
+        )
+        return [ScheduleEntry(job_id=j.job_id, gpu_demand=j.num_gpus) for j in ordered]

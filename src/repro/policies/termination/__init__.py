@@ -1,0 +1,6 @@
+"""Termination policies: when is a job done?"""
+
+from repro.policies.termination.epoch import EpochBasedTermination
+from repro.policies.termination.loss_based import LossBasedTermination
+
+__all__ = ["EpochBasedTermination", "LossBasedTermination"]

@@ -1,0 +1,20 @@
+"""Epoch-based termination: run exactly the work the user submitted."""
+
+from __future__ import annotations
+
+from repro.core.abstractions import TerminationPolicy
+from repro.core.job import Job
+
+
+class EpochBasedTermination(TerminationPolicy):
+    """Default behaviour: a job completes after its full requested duration.
+
+    This corresponds to users specifying a fixed number of epochs; the paper
+    notes (citing the Philly analysis) that users typically over-estimate this
+    number, which is what the loss-based policy exploits.
+    """
+
+    name = "epoch-termination"
+
+    def work_target(self, job: Job) -> float:
+        return job.duration

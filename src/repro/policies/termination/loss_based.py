@@ -1,0 +1,35 @@
+"""Loss-based termination (Blox §5.3).
+
+The Philly study observed that around 75% of jobs reach within 0.1% of their
+lowest loss using only 40% of their epochs.  The loss-based termination policy
+marks a job complete as soon as its loss has converged, freeing its resources
+early.  In the workload generators this convergence point is encoded as the
+job's ``convergence_fraction``; the policy terminates a job once it has done
+that fraction of its requested work (equivalently, once the synthetic loss
+curve flattens below the job's threshold).
+"""
+
+from __future__ import annotations
+
+from repro.core.abstractions import TerminationPolicy
+from repro.core.exceptions import ConfigurationError
+from repro.core.job import Job
+
+
+class LossBasedTermination(TerminationPolicy):
+    """Terminate a job once its training loss has converged.
+
+    ``min_fraction`` guards against pathological profiles terminating a job
+    before it has made any meaningful progress.
+    """
+
+    name = "loss-termination"
+
+    def __init__(self, min_fraction: float = 0.05) -> None:
+        if not 0.0 < min_fraction <= 1.0:
+            raise ConfigurationError("min_fraction must be in (0, 1]")
+        self.min_fraction = min_fraction
+
+    def work_target(self, job: Job) -> float:
+        fraction = max(self.min_fraction, min(1.0, job.convergence_fraction))
+        return job.duration * fraction

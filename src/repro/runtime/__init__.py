@@ -1,0 +1,29 @@
+"""Deployment-path components: CentralScheduler, WorkerManager, client library.
+
+Blox deploys as three processes communicating over gRPC: a ``CentralScheduler``
+running the scheduling loop, a ``WorkerManager`` per node executing launches
+and preemptions and storing per-job metrics, and a ``BloxClientLibrary`` linked
+into each training job (a data-loader wrapper performing lease checks at
+iteration boundaries plus a metric push API).  This package reproduces those
+components in-process, with an explicit message-passing layer standing in for
+gRPC, so the lease protocols (central vs optimistic renewal, two-phase
+revocation for distributed jobs) and the "only two modules change between
+simulation and deployment" property can be exercised and measured.
+"""
+
+from repro.runtime.rpc import InMemoryRpcChannel, RpcCostModel
+from repro.runtime.worker_manager import WorkerManager
+from repro.runtime.client_library import BloxDataLoader, WorkerMetricsCollector
+from repro.runtime.lease import CentralLeaseManager, OptimisticLeaseManager
+from repro.runtime.central_scheduler import CentralScheduler
+
+__all__ = [
+    "InMemoryRpcChannel",
+    "RpcCostModel",
+    "WorkerManager",
+    "BloxDataLoader",
+    "WorkerMetricsCollector",
+    "CentralLeaseManager",
+    "OptimisticLeaseManager",
+    "CentralScheduler",
+]

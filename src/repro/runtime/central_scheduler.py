@@ -1,0 +1,130 @@
+"""The CentralScheduler: the deployment-path counterpart of the Simulator loop.
+
+The scheduling loop and all policy modules are exactly the ones used in
+simulation; what changes is the backend (as the paper emphasises, only the job
+launch and preemption modules differ).  Here launches and preemptions are
+dispatched over the in-memory RPC channel to the per-node WorkerManagers, and
+job leases are managed through either the central or the optimistic lease
+protocol.  Execution itself is still advanced by the shared execution model
+(optionally with the cluster overhead model that adds real-run jitter), which
+is what the fidelity experiment (Fig. 18) compares against plain simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.abstractions import (
+    AdmissionPolicy,
+    MetricCollector,
+    PlacementPolicy,
+    SchedulingPolicy,
+)
+from repro.core.cluster_state import ClusterState
+from repro.core.exceptions import ConfigurationError
+from repro.core.job import Job
+from repro.core.mechanisms import SimulatedLauncher, SimulatedPreemption
+from repro.core.blox_manager import BloxManager
+from repro.simulator.engine import SimulationResult, Simulator
+from repro.simulator.execution import ExecutionModel
+from repro.simulator.overheads import ClusterOverheadModel, OverheadModel
+from repro.runtime.lease import CentralLeaseManager, OptimisticLeaseManager
+from repro.runtime.rpc import InMemoryRpcChannel, RpcCostModel
+from repro.runtime.worker_manager import WorkerManager
+
+
+class RpcLauncher(SimulatedLauncher):
+    """Launch mechanism that instructs WorkerManagers before updating shared state."""
+
+    name = "rpc-launch"
+
+    def __init__(self, overheads, lease_manager, cluster_state: ClusterState) -> None:
+        super().__init__(overheads)
+        self.lease_manager = lease_manager
+        self._cluster_state = cluster_state
+
+    def launch(self, job, gpu_ids, cluster_state, current_time) -> None:
+        node_ids = sorted({cluster_state.gpu(g).node_id for g in gpu_ids})
+        self.lease_manager.grant(job.job_id, node_ids)
+        super().launch(job, gpu_ids, cluster_state, current_time)
+
+
+class RpcPreemption(SimulatedPreemption):
+    """Preemption mechanism that revokes leases via the lease protocol."""
+
+    name = "rpc-preemption"
+
+    def __init__(self, overheads, lease_manager) -> None:
+        super().__init__(overheads)
+        self.lease_manager = lease_manager
+        self.lease_round_latencies_ms: List[float] = []
+
+    def preempt(self, job, cluster_state, current_time) -> None:
+        latency = self.lease_manager.renewal_round([job.job_id])
+        self.lease_round_latencies_ms.append(latency)
+        super().preempt(job, cluster_state, current_time)
+
+
+class CentralScheduler:
+    """Runs the Blox loop against WorkerManagers over RPC ("cluster mode")."""
+
+    def __init__(
+        self,
+        cluster_state: ClusterState,
+        jobs: Sequence[Job],
+        scheduling_policy: SchedulingPolicy,
+        placement_policy: Optional[PlacementPolicy] = None,
+        admission_policy: Optional[AdmissionPolicy] = None,
+        round_duration: float = 300.0,
+        lease_protocol: str = "optimistic",
+        overhead_model: Optional[OverheadModel] = None,
+        metric_collectors: Sequence[MetricCollector] = (),
+        rpc_cost_model: RpcCostModel = RpcCostModel(),
+        tracked_job_ids: Optional[Sequence[int]] = None,
+        max_rounds: int = 200_000,
+    ) -> None:
+        if lease_protocol not in ("central", "optimistic"):
+            raise ConfigurationError(f"unknown lease protocol {lease_protocol!r}")
+        self.cluster_state = cluster_state
+        self.channel = InMemoryRpcChannel(rpc_cost_model)
+        self.workers: Dict[int, WorkerManager] = {
+            node_id: WorkerManager(node_id=node_id, channel=self.channel)
+            for node_id in cluster_state.nodes
+        }
+        manager_cls = CentralLeaseManager if lease_protocol == "central" else OptimisticLeaseManager
+        self.lease_manager = manager_cls(list(self.workers.values()), self.channel)
+
+        # Cluster runs pay real launch/preemption overheads plus jitter.
+        overheads = overhead_model if overhead_model is not None else ClusterOverheadModel()
+        execution = ExecutionModel(overhead_model=overheads)
+        launcher = RpcLauncher(overheads, self.lease_manager, cluster_state)
+        self.preemptor = RpcPreemption(overheads, self.lease_manager)
+
+        self._simulator = Simulator(
+            cluster_state=cluster_state,
+            jobs=jobs,
+            scheduling_policy=scheduling_policy,
+            placement_policy=placement_policy,
+            admission_policy=admission_policy,
+            round_duration=round_duration,
+            execution_model=execution,
+            metric_collectors=metric_collectors,
+            tracked_job_ids=tracked_job_ids,
+            max_rounds=max_rounds,
+        )
+        # Swap in the RPC-backed launch/preemption mechanisms: the two modules
+        # that differ between simulation and deployment.
+        self._simulator.manager.launcher = launcher
+        self._simulator.manager.preemptor = self.preemptor
+
+    def run(self) -> SimulationResult:
+        """Execute the workload through the deployment path."""
+        return self._simulator.run()
+
+    @property
+    def manager(self) -> BloxManager:
+        return self._simulator.manager
+
+    def lease_latencies_ms(self) -> List[float]:
+        """Per-preemption lease-round latencies observed during the run."""
+        return list(self.preemptor.lease_round_latencies_ms)

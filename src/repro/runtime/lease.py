@@ -1,0 +1,159 @@
+"""Lease management protocols: centralised checks vs optimistic renewal (Fig. 19).
+
+Round-based schedulers preempt jobs by revoking a lease.  Two protocols:
+
+* **Central lease renewal** -- every worker of every job asks the
+  CentralScheduler each round whether its lease still holds.  The scheduler
+  serialises these requests, so the per-round lease latency grows with the
+  number of GPUs in the cluster.
+* **Optimistic lease renewal** (Blox's contribution) -- leases renew
+  automatically; the scheduler only contacts the one worker per *preempted*
+  job (which then runs the two-phase exit protocol with its peers).  The
+  per-round cost depends only on the number of revocations, not cluster size.
+
+Both protocols are implemented over the in-memory RPC channel; their
+``renewal_round`` methods return the critical-path latency of one round of
+lease traffic in milliseconds, which is the quantity Figure 19 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.exceptions import ConfigurationError, LeaseError
+from repro.runtime.rpc import InMemoryRpcChannel, RpcCostModel
+from repro.runtime.worker_manager import WorkerManager
+
+SCHEDULER_ENDPOINT = "central-scheduler"
+
+
+@dataclass
+class LeaseAssignment:
+    """One job's lease: the workers (node ids) it runs on."""
+
+    job_id: int
+    node_ids: List[int]
+
+
+class _LeaseManagerBase:
+    """Shared bookkeeping for both lease protocols."""
+
+    def __init__(self, workers: Sequence[WorkerManager], channel: InMemoryRpcChannel) -> None:
+        if not workers:
+            raise ConfigurationError("lease manager needs at least one worker")
+        self.channel = channel
+        self.workers: Dict[int, WorkerManager] = {w.node_id: w for w in workers}
+        self.assignments: Dict[int, LeaseAssignment] = {}
+        self.channel.register(SCHEDULER_ENDPOINT, "check_lease", self._handle_check_lease)
+        self._active_leases: Dict[int, bool] = {}
+
+    # -- scheduler-side handlers ----------------------------------------
+
+    def _handle_check_lease(self, payload) -> bool:
+        job_id = payload["job_id"]
+        return self._active_leases.get(job_id, False)
+
+    # -- common operations ------------------------------------------------
+
+    def grant(self, job_id: int, node_ids: Iterable[int]) -> None:
+        node_ids = list(node_ids)
+        for node_id in node_ids:
+            if node_id not in self.workers:
+                raise LeaseError(f"cannot grant lease on unknown node {node_id}")
+            self.channel.call(self.workers[node_id].endpoint_name, "launch", {"job_id": job_id})
+        self.assignments[job_id] = LeaseAssignment(job_id=job_id, node_ids=node_ids)
+        self._active_leases[job_id] = True
+
+    def release(self, job_id: int) -> None:
+        self.assignments.pop(job_id, None)
+        self._active_leases.pop(job_id, None)
+
+    def critical_path_ms(self) -> float:
+        """Latency of the round: the busiest endpoint bounds the round's lease time."""
+        if not self.channel.endpoint_busy_ms:
+            return 0.0
+        return max(self.channel.endpoint_busy_ms.values())
+
+
+class CentralLeaseManager(_LeaseManagerBase):
+    """Every worker of every running job checks in with the scheduler each round."""
+
+    name = "central-lease"
+
+    def renewal_round(self, revoked_job_ids: Sequence[int] = ()) -> float:
+        """Run one round of lease traffic; returns the critical-path latency (ms)."""
+        revoked = set(revoked_job_ids)
+        self.channel.reset_accounting()
+        for job_id in revoked:
+            self._active_leases[job_id] = False
+        for assignment in list(self.assignments.values()):
+            for node_id in assignment.node_ids:
+                still_valid = self.channel.call(
+                    SCHEDULER_ENDPOINT, "check_lease", {"job_id": assignment.job_id}
+                )
+                worker = self.workers[node_id]
+                if still_valid:
+                    self.channel.call(worker.endpoint_name, "renew_lease", {"job_id": assignment.job_id})
+                else:
+                    self.channel.call(worker.endpoint_name, "revoke_lease", {"job_id": assignment.job_id})
+        for job_id in revoked:
+            self.release(job_id)
+        return self.critical_path_ms()
+
+
+class OptimisticLeaseManager(_LeaseManagerBase):
+    """Leases renew implicitly; only revocations generate traffic."""
+
+    name = "optimistic-lease"
+
+    def renewal_round(self, revoked_job_ids: Sequence[int] = ()) -> float:
+        """Run one round of lease traffic; returns the critical-path latency (ms)."""
+        self.channel.reset_accounting()
+        for job_id in revoked_job_ids:
+            assignment = self.assignments.get(job_id)
+            if assignment is None:
+                continue
+            self._active_leases[job_id] = False
+            # Two-phase exit: the scheduler contacts a single worker; that
+            # worker propagates the exit iteration to its peers directly.
+            first_node = assignment.node_ids[0]
+            self.channel.call(
+                self.workers[first_node].endpoint_name,
+                "revoke_lease",
+                {"job_id": job_id, "exit_iteration": None},
+            )
+            for peer_node in assignment.node_ids[1:]:
+                self.channel.call(
+                    self.workers[peer_node].endpoint_name,
+                    "revoke_lease",
+                    {"job_id": job_id, "exit_iteration": None},
+                )
+            self.release(job_id)
+        return self.critical_path_ms()
+
+
+def build_lease_setup(
+    num_nodes: int,
+    gpus_per_node: int = 4,
+    jobs_per_gpu: float = 1.0,
+    cost_model: RpcCostModel = RpcCostModel(),
+    protocol: str = "optimistic",
+):
+    """Construct a lease manager with one single-GPU job per GPU (Fig. 19 setup).
+
+    Returns ``(manager, workers, channel)``.  ``protocol`` is ``"central"`` or
+    ``"optimistic"``.
+    """
+    if protocol not in ("central", "optimistic"):
+        raise ConfigurationError(f"unknown lease protocol {protocol!r}")
+    channel = InMemoryRpcChannel(cost_model)
+    workers = [WorkerManager(node_id=i, channel=channel) for i in range(num_nodes)]
+    manager_cls = CentralLeaseManager if protocol == "central" else OptimisticLeaseManager
+    manager = manager_cls(workers, channel)
+    job_id = 0
+    total_jobs = int(num_nodes * gpus_per_node * jobs_per_gpu)
+    for job_id in range(total_jobs):
+        node_id = (job_id // gpus_per_node) % num_nodes
+        manager.grant(job_id, [node_id])
+    return manager, workers, channel

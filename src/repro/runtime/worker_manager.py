@@ -1,0 +1,95 @@
+"""The per-node WorkerManager.
+
+A WorkerManager runs on every server: it executes launch/preempt commands from
+the CentralScheduler, stores job leases locally so the client library can check
+them without a round trip to the scheduler (the optimistic scheme), and acts as
+the local metric store that applications push arbitrary key-value metrics into.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.exceptions import LeaseError
+from repro.runtime.rpc import InMemoryRpcChannel
+
+
+@dataclass
+class WorkerManager:
+    """Node-local agent: lease store, metric store, launch/preempt executor."""
+
+    node_id: int
+    channel: Optional[InMemoryRpcChannel] = None
+    leases: Dict[int, bool] = field(default_factory=dict)
+    exit_iterations: Dict[int, int] = field(default_factory=dict)
+    metrics: Dict[int, Dict[str, object]] = field(default_factory=dict)
+    running_jobs: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.channel is not None:
+            endpoint = self.endpoint_name
+            self.channel.register(endpoint, "launch", self._handle_launch)
+            self.channel.register(endpoint, "revoke_lease", self._handle_revoke)
+            self.channel.register(endpoint, "renew_lease", self._handle_renew)
+            self.channel.register(endpoint, "push_metric", self._handle_push_metric)
+            self.channel.register(endpoint, "pull_metrics", self._handle_pull_metrics)
+
+    @property
+    def endpoint_name(self) -> str:
+        return f"worker-{self.node_id}"
+
+    # ------------------------------------------------------------------
+    # RPC handlers (the channel calls these); they can also be used directly.
+    # ------------------------------------------------------------------
+
+    def _handle_launch(self, payload) -> bool:
+        job_id = payload["job_id"]
+        self.leases[job_id] = True
+        self.exit_iterations.pop(job_id, None)
+        if job_id not in self.running_jobs:
+            self.running_jobs.append(job_id)
+        return True
+
+    def _handle_revoke(self, payload) -> bool:
+        job_id = payload["job_id"]
+        if job_id not in self.leases:
+            raise LeaseError(f"worker {self.node_id} holds no lease for job {job_id}")
+        self.leases[job_id] = False
+        if "exit_iteration" in payload:
+            self.exit_iterations[job_id] = payload["exit_iteration"]
+        return True
+
+    def _handle_renew(self, payload) -> bool:
+        job_id = payload["job_id"]
+        self.leases[job_id] = True
+        return True
+
+    def _handle_push_metric(self, payload) -> bool:
+        job_id = payload["job_id"]
+        self.metrics.setdefault(job_id, {})[payload["key"]] = payload["value"]
+        return True
+
+    def _handle_pull_metrics(self, payload) -> Dict[int, Dict[str, object]]:
+        return {job_id: dict(values) for job_id, values in self.metrics.items()}
+
+    # ------------------------------------------------------------------
+    # Local API used by the client library (no RPC: the point of optimism)
+    # ------------------------------------------------------------------
+
+    def lease_valid(self, job_id: int) -> bool:
+        """Whether the job may start another iteration (local lookup, no RPC)."""
+        return self.leases.get(job_id, False)
+
+    def exit_iteration_for(self, job_id: int) -> Optional[int]:
+        return self.exit_iterations.get(job_id)
+
+    def push_metric(self, job_id: int, key: str, value: object) -> None:
+        self.metrics.setdefault(job_id, {})[key] = value
+
+    def job_finished(self, job_id: int) -> None:
+        """Clear all local state for a job that exited."""
+        self.leases.pop(job_id, None)
+        self.exit_iterations.pop(job_id, None)
+        if job_id in self.running_jobs:
+            self.running_jobs.remove(job_id)

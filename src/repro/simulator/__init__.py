@@ -1,0 +1,17 @@
+"""Round-based simulation engine: execution model, overhead model and the driver.
+
+``Simulator`` lives in :mod:`repro.simulator.engine`; it is intentionally not
+re-exported here because the engine imports the core package (BloxManager),
+which in turn uses the overhead/execution models from this package -- import
+it as ``from repro.simulator.engine import Simulator`` (or via the top-level
+``repro`` package, which re-exports it once everything is initialised).
+"""
+
+from repro.simulator.execution import ExecutionModel
+from repro.simulator.overheads import OverheadModel, ClusterOverheadModel
+
+__all__ = [
+    "ExecutionModel",
+    "OverheadModel",
+    "ClusterOverheadModel",
+]

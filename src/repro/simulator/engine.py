@@ -1,0 +1,262 @@
+"""The round-based simulation driver.
+
+:class:`Simulator` composes the Blox abstractions exactly as the scheduling
+loop in Figure 2 of the paper: every round it updates cluster membership,
+advances running jobs, prunes completed jobs, pops newly arrived jobs from the
+wait queue, runs the admission, scheduling and placement policies and applies
+the resulting decision.  The same composition runs on the deployment path (see
+:mod:`repro.runtime`); only the ``BloxManager`` backend and the launch and
+preemption mechanisms change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.abstractions import (
+    AdmissionPolicy,
+    ClusterManager,
+    MetricCollector,
+    PlacementPolicy,
+    SchedulingPolicy,
+    TerminationPolicy,
+)
+from repro.core.blox_manager import BloxManager
+from repro.core.cluster_state import ClusterState
+from repro.core.exceptions import ConfigurationError, SimulationError
+from repro.core.job import Job, JobStatus
+from repro.core.job_state import JobState
+from repro.metrics.summary import SummaryStats, average, cdf_points, jct_summary
+from repro.simulator.execution import ExecutionModel
+from repro.simulator.overheads import OverheadModel
+
+
+@dataclass
+class RoundRecord:
+    """One row of the per-round log kept by the simulator."""
+
+    round_number: int
+    time: float
+    running_jobs: int
+    queued_jobs: int
+    utilization: float
+    scheduler_name: str
+    admission_name: str
+
+
+@dataclass
+class SimulationResult:
+    """Everything an experiment needs after a simulation finished."""
+
+    jobs: List[Job]
+    tracked_job_ids: List[int]
+    round_duration: float
+    rounds: int
+    end_time: float
+    round_log: List[RoundRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Job views
+    # ------------------------------------------------------------------
+
+    def tracked_jobs(self) -> List[Job]:
+        wanted = set(self.tracked_job_ids)
+        return [j for j in self.jobs if j.job_id in wanted]
+
+    def finished_jobs(self, tracked_only: bool = True) -> List[Job]:
+        jobs = self.tracked_jobs() if tracked_only else self.jobs
+        return [j for j in jobs if j.completion_time is not None]
+
+    # ------------------------------------------------------------------
+    # Headline metrics
+    # ------------------------------------------------------------------
+
+    def jcts(self, tracked_only: bool = True) -> List[float]:
+        return [j.job_completion_time() for j in self.finished_jobs(tracked_only)]
+
+    def responsiveness_values(self, tracked_only: bool = True) -> List[float]:
+        values = [j.responsiveness() for j in self.finished_jobs(tracked_only)]
+        return [v for v in values if v is not None]
+
+    def avg_jct(self, tracked_only: bool = True) -> float:
+        return average(self.jcts(tracked_only))
+
+    def avg_responsiveness(self, tracked_only: bool = True) -> float:
+        return average(self.responsiveness_values(tracked_only))
+
+    def makespan(self, tracked_only: bool = True) -> float:
+        finished = self.finished_jobs(tracked_only)
+        if not finished:
+            return 0.0
+        return max(j.completion_time for j in finished) - min(j.arrival_time for j in finished)
+
+    def jct_cdf(self, tracked_only: bool = True) -> Tuple[List[float], List[float]]:
+        return cdf_points(self.jcts(tracked_only))
+
+    def summary(self) -> SummaryStats:
+        return jct_summary(self.jobs, self.tracked_job_ids)
+
+    def completion_fraction(self, tracked_only: bool = True) -> float:
+        jobs = self.tracked_jobs() if tracked_only else self.jobs
+        if not jobs:
+            return 0.0
+        return len([j for j in jobs if j.completion_time is not None]) / len(jobs)
+
+
+class Simulator:
+    """Composes policies into the Blox scheduling loop and runs it to completion."""
+
+    def __init__(
+        self,
+        cluster_state: ClusterState,
+        jobs: Iterable[Job],
+        scheduling_policy: SchedulingPolicy,
+        placement_policy: Optional[PlacementPolicy] = None,
+        admission_policy: Optional[AdmissionPolicy] = None,
+        round_duration: float = 300.0,
+        overhead_model: Optional[OverheadModel] = None,
+        execution_model: Optional[ExecutionModel] = None,
+        termination_policy: Optional[TerminationPolicy] = None,
+        metric_collectors: Sequence[MetricCollector] = (),
+        cluster_manager: Optional[ClusterManager] = None,
+        tracked_job_ids: Optional[Sequence[int]] = None,
+        max_rounds: int = 200_000,
+    ) -> None:
+        from repro.policies.admission.accept_all import AcceptAll
+        from repro.policies.placement.consolidated import ConsolidatedPlacement
+
+        if max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+
+        self.cluster_state = cluster_state
+        self.job_state = JobState()
+        self.jobs = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+        if not self.jobs:
+            raise ConfigurationError("cannot simulate an empty workload")
+        self.scheduling_policy = scheduling_policy
+        self.placement_policy = placement_policy or ConsolidatedPlacement()
+        self.admission_policy = admission_policy or AcceptAll()
+        if execution_model is not None:
+            self.execution_model = execution_model
+        else:
+            self.execution_model = ExecutionModel(
+                overhead_model=overhead_model, termination_policy=termination_policy
+            )
+        self.metric_collectors = list(metric_collectors)
+        self.max_rounds = max_rounds
+        self.manager = BloxManager(
+            trace_jobs=self.jobs,
+            round_duration=round_duration,
+            execution_model=self.execution_model,
+            cluster_manager=cluster_manager,
+        )
+        if tracked_job_ids is None:
+            self.tracked_job_ids = [j.job_id for j in self.jobs]
+        else:
+            self.tracked_job_ids = list(tracked_job_ids)
+
+    # ------------------------------------------------------------------
+
+    def _tracked_all_finished(self) -> bool:
+        for job_id in self.tracked_job_ids:
+            if job_id in self.job_state:
+                if not self.job_state.get(job_id).is_finished:
+                    return False
+            else:
+                return False
+        return True
+
+    def _stalled(self) -> bool:
+        """True when nothing can ever make progress again (guards against livelock)."""
+        if not self.manager.all_arrived():
+            return False
+        if self.job_state.active_jobs():
+            return False
+        if self.admission_policy.pending_jobs():
+            return False
+        if self.job_state.waiting_admission_jobs():
+            return False
+        return True
+
+    def run(self) -> SimulationResult:
+        """Run the scheduling loop until every tracked job finished."""
+        mgr = self.manager
+        round_log: List[RoundRecord] = []
+
+        for _ in range(self.max_rounds):
+            # 1. Cluster membership changes (failures force a reschedule of jobs).
+            affected = mgr.update_cluster(self.cluster_state)
+            for job_id in affected:
+                if job_id in self.job_state:
+                    job = self.job_state.get(job_id)
+                    if job.status == JobStatus.RUNNING:
+                        mgr.preemptor.preempt(job, self.cluster_state, mgr.current_time)
+
+            # 2./3. Progress from the previous round, then free completed jobs.
+            mgr.update_metrics(self.cluster_state, self.job_state)
+            mgr.prune_completed_jobs(self.cluster_state, self.job_state)
+
+            if self._tracked_all_finished():
+                break
+
+            # 4. Admission of newly arrived jobs.
+            self.job_state.current_time = mgr.current_time
+            new_jobs = mgr.pop_wait_queue()
+            accepted = self.admission_policy.accept(new_jobs, self.cluster_state, self.job_state)
+            self.job_state.add_new_jobs(accepted, mgr.current_time)
+
+            # 5. Scheduling and placement.
+            schedule = self.scheduling_policy.schedule(self.job_state, self.cluster_state)
+            decision = self.placement_policy.place(schedule, self.cluster_state, self.job_state)
+
+            # 6. Apply the decision.
+            mgr.exec_jobs(decision, self.cluster_state, self.job_state)
+
+            # 7. Metric collection.
+            for collector in self.metric_collectors:
+                collector.collect(self.job_state, self.cluster_state, mgr.current_time)
+
+            round_log.append(
+                RoundRecord(
+                    round_number=mgr.round_number,
+                    time=mgr.current_time,
+                    running_jobs=len(self.job_state.running_jobs()),
+                    queued_jobs=len(self.job_state.active_jobs())
+                    - len(self.job_state.running_jobs()),
+                    utilization=self.cluster_state.utilization(),
+                    scheduler_name=getattr(self.scheduling_policy, "current_name", None)
+                    or self.scheduling_policy.name,
+                    admission_name=getattr(self.admission_policy, "current_name", None)
+                    or self.admission_policy.name,
+                )
+            )
+
+            if self._stalled():
+                break
+
+            mgr.advance_time()
+        else:
+            raise SimulationError(
+                f"simulation did not finish within {self.max_rounds} rounds; "
+                "the workload is likely too large for the cluster or a policy is starving jobs"
+            )
+
+        return SimulationResult(
+            jobs=self.job_state.all_jobs(),
+            tracked_job_ids=self.tracked_job_ids,
+            round_duration=mgr.round_duration,
+            rounds=mgr.round_number,
+            end_time=mgr.current_time,
+            round_log=round_log,
+        )
+
+
+def run_simulation(
+    cluster_state: ClusterState,
+    jobs: Iterable[Job],
+    scheduling_policy: SchedulingPolicy,
+    **kwargs,
+) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(cluster_state, jobs, scheduling_policy, **kwargs).run()

@@ -1,0 +1,83 @@
+"""Objectives the automatic scheduler synthesizer can optimise.
+
+The synthesizer runs shadow simulations of every policy combination and picks
+the one that minimises a user-selected metric (§5.2 optimises average JCT;
+Appendix A minimises average JCT plus average responsiveness simultaneously).
+Objectives score a finished shadow simulation; lower is better.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.job import Job
+from repro.metrics.summary import average
+
+
+class Objective:
+    """Scores the outcome of a (shadow) simulation; lower scores are better."""
+
+    name = "objective"
+
+    def score(self, jobs: Sequence[Job], horizon_end: float) -> float:
+        raise NotImplementedError
+
+    @staticmethod
+    def _jct_like(job: Job, horizon_end: float) -> float:
+        """JCT for finished jobs; elapsed-so-far for unfinished ones.
+
+        Counting unfinished jobs at their elapsed age keeps the objective from
+        rewarding policies that simply starve long jobs past the shadow horizon.
+        """
+        if job.completion_time is not None:
+            return job.completion_time - job.arrival_time
+        return max(0.0, horizon_end - job.arrival_time)
+
+
+class AverageJct(Objective):
+    """Minimise average job completion time."""
+
+    name = "avg-jct"
+
+    def score(self, jobs: Sequence[Job], horizon_end: float) -> float:
+        return average(self._jct_like(j, horizon_end) for j in jobs)
+
+
+class AverageResponsiveness(Objective):
+    """Minimise the average time until a job first receives GPUs."""
+
+    name = "avg-responsiveness"
+
+    def score(self, jobs: Sequence[Job], horizon_end: float) -> float:
+        values = []
+        for job in jobs:
+            if job.first_schedule_time is not None:
+                values.append(job.first_schedule_time - job.arrival_time)
+            else:
+                values.append(max(0.0, horizon_end - job.arrival_time))
+        return average(values)
+
+
+class CombinedObjective(Objective):
+    """Weighted sum of several objectives (Appendix A uses JCT + responsiveness)."""
+
+    name = "combined"
+
+    def __init__(self, objectives: Sequence[Objective], weights: Sequence[float] = ()) -> None:
+        if not objectives:
+            raise ConfigurationError("CombinedObjective needs at least one objective")
+        self.objectives = list(objectives)
+        if weights:
+            if len(weights) != len(objectives):
+                raise ConfigurationError("weights must match objectives in length")
+            self.weights = list(weights)
+        else:
+            self.weights = [1.0] * len(objectives)
+        self.name = "+".join(o.name for o in self.objectives)
+
+    def score(self, jobs: Sequence[Job], horizon_end: float) -> float:
+        return sum(
+            weight * objective.score(jobs, horizon_end)
+            for weight, objective in zip(self.weights, self.objectives)
+        )

@@ -1,0 +1,27 @@
+"""Workloads: model profiles, trace schema and trace generators."""
+
+from repro.workloads.models import ModelProfile, PHILLY_MODELS, get_model, model_names
+from repro.workloads.trace import Trace
+from repro.workloads.philly import PhillyTraceGenerator, generate_philly_trace
+from repro.workloads.pollux_trace import generate_pollux_trace
+from repro.workloads.tiresias_trace import generate_tiresias_trace
+from repro.workloads.bursty import add_daily_spike, make_bursty_trace
+from repro.workloads.parsers import load_trace_csv, save_trace_csv
+from repro.workloads.convergence import assign_convergence_profiles
+
+__all__ = [
+    "ModelProfile",
+    "PHILLY_MODELS",
+    "get_model",
+    "model_names",
+    "Trace",
+    "PhillyTraceGenerator",
+    "generate_philly_trace",
+    "generate_pollux_trace",
+    "generate_tiresias_trace",
+    "add_daily_spike",
+    "make_bursty_trace",
+    "load_trace_csv",
+    "save_trace_csv",
+    "assign_convergence_profiles",
+]

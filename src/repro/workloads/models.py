@@ -1,0 +1,119 @@
+"""Model profiles for the workloads used in the Blox evaluation (Table 2).
+
+The paper associates every trace job with one of eight DNN workloads and uses
+profiled data (per-iteration time across batch sizes and GPU counts) to drive
+the simulator.  We encode each model as a :class:`ModelProfile` whose fields
+capture the properties the schedulers and the execution model care about:
+
+* per-iteration time on a single V100 (sets the work granularity),
+* scaling efficiency with more GPUs (``scaling_alpha``, ``max_useful_gpus``),
+* communication intensity and tensor skew (placement sensitivity and the
+  Tiresias heuristic's signal),
+* CPU / host-memory appetite per GPU (Synergy),
+* the largest useful batch-size scale-out (Pollux).
+
+The absolute values are order-of-magnitude estimates published in the
+respective papers; only their relative differences matter for reproducing the
+evaluation's qualitative results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.job import ScalingProfile
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Static profile of one DNN workload."""
+
+    name: str
+    dataset: str
+    task: str
+    iteration_time: float          # seconds per iteration on 1x V100
+    scaling_alpha: float           # communication overhead per extra worker
+    max_useful_gpus: int
+    comm_intensity: float          # network sensitivity when fragmented
+    skew: float                    # tensor-size skew (Tiresias heuristic signal)
+    placement_sensitive: bool      # ground truth: benefits from consolidation
+    cpu_demand_per_gpu: float
+    mem_demand_per_gpu: float
+    max_batch_scale: int           # Pollux: how far the batch size can grow
+
+    def __post_init__(self) -> None:
+        if self.iteration_time <= 0:
+            raise ConfigurationError(f"{self.name}: iteration_time must be > 0")
+        if self.comm_intensity < 0:
+            raise ConfigurationError(f"{self.name}: comm_intensity must be >= 0")
+
+    def scaling_profile(self) -> ScalingProfile:
+        return ScalingProfile(alpha=self.scaling_alpha, max_useful_gpus=self.max_useful_gpus)
+
+
+#: The eight workloads of Table 2 in the paper.
+PHILLY_MODELS: Dict[str, ModelProfile] = {
+    "resnet18": ModelProfile(
+        name="resnet18", dataset="cifar-10", task="image classification",
+        iteration_time=0.12, scaling_alpha=0.04, max_useful_gpus=16,
+        comm_intensity=0.15, skew=0.2, placement_sensitive=False,
+        cpu_demand_per_gpu=3.0, mem_demand_per_gpu=12.0, max_batch_scale=8,
+    ),
+    "cyclegan": ModelProfile(
+        name="cyclegan", dataset="monet2photo", task="image-to-image translation",
+        iteration_time=0.60, scaling_alpha=0.08, max_useful_gpus=8,
+        comm_intensity=0.45, skew=0.7, placement_sensitive=True,
+        cpu_demand_per_gpu=4.0, mem_demand_per_gpu=20.0, max_batch_scale=2,
+    ),
+    "resnet50": ModelProfile(
+        name="resnet50", dataset="imagenet", task="image classification",
+        iteration_time=0.35, scaling_alpha=0.05, max_useful_gpus=32,
+        comm_intensity=0.35, skew=0.3, placement_sensitive=True,
+        cpu_demand_per_gpu=12.0, mem_demand_per_gpu=24.0, max_batch_scale=8,
+    ),
+    "lstm": ModelProfile(
+        name="lstm", dataset="wikitext-2", task="next word prediction",
+        iteration_time=0.25, scaling_alpha=0.10, max_useful_gpus=8,
+        comm_intensity=0.55, skew=0.8, placement_sensitive=True,
+        cpu_demand_per_gpu=2.0, mem_demand_per_gpu=10.0, max_batch_scale=4,
+    ),
+    "recoder": ModelProfile(
+        name="recoder", dataset="ml-20m", task="recommendation",
+        iteration_time=0.20, scaling_alpha=0.12, max_useful_gpus=8,
+        comm_intensity=0.60, skew=0.9, placement_sensitive=True,
+        cpu_demand_per_gpu=8.0, mem_demand_per_gpu=32.0, max_batch_scale=4,
+    ),
+    "transformer": ModelProfile(
+        name="transformer", dataset="multi30k", task="language translation",
+        iteration_time=0.45, scaling_alpha=0.07, max_useful_gpus=16,
+        comm_intensity=0.50, skew=0.6, placement_sensitive=True,
+        cpu_demand_per_gpu=4.0, mem_demand_per_gpu=20.0, max_batch_scale=8,
+    ),
+    "a3c": ModelProfile(
+        name="a3c", dataset="pong", task="deep reinforcement learning",
+        iteration_time=0.05, scaling_alpha=0.02, max_useful_gpus=4,
+        comm_intensity=0.05, skew=0.1, placement_sensitive=False,
+        cpu_demand_per_gpu=10.0, mem_demand_per_gpu=8.0, max_batch_scale=2,
+    ),
+    "vgg16": ModelProfile(
+        name="vgg16", dataset="imagenet", task="image classification",
+        iteration_time=0.55, scaling_alpha=0.09, max_useful_gpus=16,
+        comm_intensity=0.65, skew=0.85, placement_sensitive=True,
+        cpu_demand_per_gpu=6.0, mem_demand_per_gpu=24.0, max_batch_scale=4,
+    ),
+}
+
+
+def model_names() -> List[str]:
+    """Stable, sorted list of profile names (useful for deterministic sampling)."""
+    return sorted(PHILLY_MODELS)
+
+
+def get_model(name: str) -> ModelProfile:
+    key = name.lower()
+    if key not in PHILLY_MODELS:
+        known = ", ".join(model_names())
+        raise ConfigurationError(f"unknown model {name!r}; known models: {known}")
+    return PHILLY_MODELS[key]

@@ -1,0 +1,87 @@
+"""CSV trace parsing and serialisation.
+
+The Blox paper highlights that adding new workload parsers was part of
+implementing Pollux and Synergy (their traces use a different schema).  We
+support a simple canonical schema -- ``job_id, arrival_time, num_gpus,
+duration, model_name`` -- which is enough to round-trip any trace produced by
+the generators; model-specific profile fields are re-hydrated from the model
+catalogue on load.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import List, Union
+
+from repro.core.exceptions import TraceFormatError
+from repro.core.job import Job
+from repro.workloads.models import PHILLY_MODELS, get_model
+from repro.workloads.trace import Trace
+
+REQUIRED_COLUMNS = ("job_id", "arrival_time", "num_gpus", "duration", "model_name")
+
+
+def save_trace_csv(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write a trace to ``path`` in the canonical CSV schema; returns the path."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(REQUIRED_COLUMNS)
+        for job in trace.jobs:
+            writer.writerow(
+                [job.job_id, f"{job.arrival_time:.3f}", job.num_gpus, f"{job.duration:.3f}", job.model_name]
+            )
+    return path
+
+
+def load_trace_csv(path: Union[str, Path], name: str = "") -> Trace:
+    """Load a trace from the canonical CSV schema.
+
+    Raises :class:`~repro.core.exceptions.TraceFormatError` when columns are
+    missing or values cannot be parsed, naming the offending row.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"trace file not found: {path}")
+    jobs: List[Job] = []
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or any(c not in reader.fieldnames for c in REQUIRED_COLUMNS):
+            raise TraceFormatError(
+                f"trace {path} is missing required columns; expected {REQUIRED_COLUMNS}"
+            )
+        for row_number, row in enumerate(reader, start=2):
+            try:
+                model_name = row["model_name"].strip().lower()
+                if model_name in PHILLY_MODELS:
+                    profile = get_model(model_name)
+                    job = Job(
+                        job_id=int(row["job_id"]),
+                        arrival_time=float(row["arrival_time"]),
+                        num_gpus=int(row["num_gpus"]),
+                        duration=float(row["duration"]),
+                        model_name=profile.name,
+                        iteration_time=profile.iteration_time,
+                        scaling=profile.scaling_profile(),
+                        placement_sensitive=profile.placement_sensitive,
+                        skew=profile.skew,
+                        comm_intensity=profile.comm_intensity,
+                        cpu_demand_per_gpu=profile.cpu_demand_per_gpu,
+                        mem_demand_per_gpu=profile.mem_demand_per_gpu,
+                        max_batch_scale=profile.max_batch_scale,
+                    )
+                else:
+                    job = Job(
+                        job_id=int(row["job_id"]),
+                        arrival_time=float(row["arrival_time"]),
+                        num_gpus=int(row["num_gpus"]),
+                        duration=float(row["duration"]),
+                        model_name=model_name or "generic",
+                    )
+            except (KeyError, ValueError) as exc:
+                raise TraceFormatError(f"{path}:{row_number}: could not parse row: {exc}") from exc
+            jobs.append(job)
+    if not jobs:
+        raise TraceFormatError(f"trace {path} contains no jobs")
+    return Trace(jobs=jobs, name=name or path.stem)

@@ -1,0 +1,84 @@
+"""Pollux-like workload trace generator.
+
+The Pollux artifact ships a 160-job trace sampled from the busiest 8-hour
+window of the Microsoft trace, annotated with the batch-size and convergence
+metadata Pollux's goodput model needs.  That trace's properties that matter to
+the paper's load-sweep (Figures 3, 8 and 9) are: relatively short jobs (the
+majority finish within 10 hours in isolation), modest GPU demands, and the
+presence of per-job batch-scaling limits.  This generator reproduces those
+properties with a seeded random process; the Pollux-specific metadata
+(``max_batch_scale``) comes from the model profiles.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Optional
+
+from repro.core.exceptions import ConfigurationError
+from repro.core.job import Job
+from repro.workloads.models import get_model, model_names
+from repro.workloads.trace import Trace
+
+#: GPU demand mix for the Pollux trace: smaller jobs than the full Philly mix.
+POLLUX_GPU_DEMAND_MIX: Dict[int, float] = {1: 0.60, 2: 0.20, 4: 0.15, 8: 0.05}
+
+
+def generate_pollux_trace(
+    num_jobs: int = 160,
+    jobs_per_hour: float = 20.0,
+    seed: int = 0,
+    median_duration_hours: float = 1.5,
+    duration_sigma: float = 0.8,
+    max_duration_hours: float = 10.0,
+    tracked_window: Optional[tuple] = None,
+) -> Trace:
+    """Generate a Pollux-style trace of mostly short, mostly small jobs."""
+    if num_jobs < 1:
+        raise ConfigurationError("num_jobs must be >= 1")
+    if jobs_per_hour <= 0:
+        raise ConfigurationError("jobs_per_hour must be > 0")
+
+    rng = random.Random(seed)
+    names = model_names()
+    mean_inter_arrival = 3600.0 / jobs_per_hour
+    arrival = 0.0
+    jobs = []
+    for index in range(num_jobs):
+        model = get_model(rng.choice(names))
+        roll, cumulative, gpus = rng.random(), 0.0, 1
+        for demand, probability in sorted(POLLUX_GPU_DEMAND_MIX.items()):
+            cumulative += probability
+            if roll <= cumulative:
+                gpus = demand
+                break
+        else:
+            gpus = max(POLLUX_GPU_DEMAND_MIX)
+        mu = math.log(median_duration_hours * 3600.0)
+        duration = min(
+            max_duration_hours * 3600.0, max(600.0, rng.lognormvariate(mu, duration_sigma))
+        )
+        jobs.append(
+            Job(
+                job_id=index,
+                arrival_time=arrival,
+                num_gpus=gpus,
+                duration=duration,
+                model_name=model.name,
+                iteration_time=model.iteration_time,
+                scaling=model.scaling_profile(),
+                placement_sensitive=model.placement_sensitive,
+                skew=model.skew,
+                comm_intensity=model.comm_intensity,
+                cpu_demand_per_gpu=model.cpu_demand_per_gpu,
+                mem_demand_per_gpu=model.mem_demand_per_gpu,
+                max_batch_scale=model.max_batch_scale,
+                user=f"user-{rng.randrange(8)}",
+            )
+        )
+        arrival += rng.expovariate(1.0 / mean_inter_arrival)
+    trace = Trace(jobs=jobs, name=f"pollux-{jobs_per_hour:g}jph-seed{seed}")
+    if tracked_window is not None:
+        trace.tracked_range = tracked_window
+    return trace
