@@ -1,0 +1,14 @@
+"""Performance benchmarks for the scheduler core.
+
+``python -m repro.bench`` runs the core benchmark: one seeded 256-GPU
+Philly-style workload simulated twice -- once on the pre-refactor ("legacy")
+code paths (full-scan state queries, no event skipping) and once on the
+indexed, event-skipping core -- and writes ``BENCH_core.json`` with rounds/sec
+and end-to-end wall time for both, plus a schedule-parity verdict proving the
+two runs made identical scheduling decisions.  The JSON is committed so the
+perf trajectory is measurable PR over PR.
+"""
+
+from repro.bench.core_bench import run_core_bench
+
+__all__ = ["run_core_bench"]

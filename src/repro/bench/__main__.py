@@ -1,0 +1,36 @@
+"""CLI entry point: ``python -m repro.bench [--smoke] [--out PATH]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.core_bench import run_core_bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the scheduler-core benchmark (baseline vs. indexed).",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small 32-GPU configuration for CI (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_core.json",
+        help="output JSON path (default: BENCH_core.json); '-' to skip writing",
+    )
+    args = parser.parse_args(argv)
+    out_path = None if args.out == "-" else args.out
+    report = run_core_bench(smoke=args.smoke, out_path=out_path)
+    json.dump(report, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

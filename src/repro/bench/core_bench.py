@@ -1,0 +1,128 @@
+"""The core benchmark: indexed + event-skipping loop vs. the seed baseline.
+
+Runs the seeded 256-GPU Philly-style workload (see
+:mod:`repro.bench.workload`) through FIFO + consolidated placement twice:
+
+* **baseline** -- :class:`~repro.bench.legacy.LegacySimulator`: seed-cost state
+  queries (full scans) and no event skipping, i.e. the pre-refactor core;
+* **indexed** -- the current :class:`~repro.simulator.engine.Simulator` on the
+  indexed state with fast-forward enabled.
+
+Both runs must produce *identical* per-job completion times and round logs
+(the benchmark fails loudly otherwise), so the speedup is pure bookkeeping,
+not a change in scheduling behaviour.  Results are written to
+``BENCH_core.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, Optional
+
+from repro.bench import workload
+from repro.bench.legacy import LegacySimulator
+from repro.policies.placement.consolidated import ConsolidatedPlacement
+from repro.policies.scheduling.fifo import FifoScheduling
+from repro.simulator.engine import SimulationResult, Simulator
+
+
+def _run_case(indexed: bool, smoke: bool) -> Dict[str, object]:
+    trace = workload.bench_trace(smoke=smoke)
+    simulator_cls = Simulator if indexed else LegacySimulator
+    simulator = simulator_cls(
+        cluster_state=workload.bench_cluster(smoke=smoke),
+        jobs=trace.fresh_jobs(),
+        scheduling_policy=FifoScheduling(),
+        placement_policy=ConsolidatedPlacement(),
+        round_duration=workload.ROUND_DURATION,
+    )
+    start = time.perf_counter()
+    result = simulator.run()
+    wall_time = time.perf_counter() - start
+    return {
+        "result": result,
+        "wall_time_s": wall_time,
+        "rounds": result.rounds,
+        "rounds_per_sec": result.rounds / wall_time if wall_time > 0 else float("inf"),
+    }
+
+
+def _parity(baseline: SimulationResult, indexed: SimulationResult) -> Dict[str, object]:
+    base_completions = {j.job_id: j.completion_time for j in baseline.jobs}
+    new_completions = {j.job_id: j.completion_time for j in indexed.jobs}
+    mismatched = sorted(
+        job_id
+        for job_id in set(base_completions) | set(new_completions)
+        if base_completions.get(job_id) != new_completions.get(job_id)
+    )
+    return {
+        "identical_completion_times": not mismatched,
+        "identical_round_logs": baseline.round_log == indexed.round_log,
+        "identical_round_count": baseline.rounds == indexed.rounds,
+        "mismatched_job_ids": mismatched[:20],
+    }
+
+
+def run_core_bench(smoke: bool = False, out_path: Optional[str] = "BENCH_core.json") -> Dict[str, object]:
+    """Run baseline + indexed benchmark, verify parity, write the JSON report."""
+    scale = "smoke" if smoke else "full"
+    total_gpus = (workload.SMOKE_NODES if smoke else workload.FULL_NODES) * workload.GPUS_PER_NODE
+    baseline = _run_case(indexed=False, smoke=smoke)
+    indexed = _run_case(indexed=True, smoke=smoke)
+    parity = _parity(baseline["result"], indexed["result"])
+
+    def _case_report(case: Dict[str, object]) -> Dict[str, object]:
+        result: SimulationResult = case["result"]
+        return {
+            "wall_time_s": round(case["wall_time_s"], 4),
+            "rounds": case["rounds"],
+            "rounds_per_sec": round(case["rounds_per_sec"], 1),
+            "finished_jobs": len(result.finished_jobs()),
+            "avg_jct_s": round(result.avg_jct(), 2),
+        }
+
+    report = {
+        "benchmark": f"core-{scale}-{total_gpus}gpu-philly-fifo-consolidated",
+        "config": {
+            "scale": scale,
+            "seed": workload.BENCH_SEED,
+            "num_nodes": workload.SMOKE_NODES if smoke else workload.FULL_NODES,
+            "gpus_per_node": workload.GPUS_PER_NODE,
+            "total_gpus": total_gpus,
+            "num_jobs": workload.SMOKE_JOBS if smoke else workload.FULL_JOBS,
+            "jobs_per_hour": workload.SMOKE_JOBS_PER_HOUR if smoke else workload.FULL_JOBS_PER_HOUR,
+            "round_duration_s": workload.ROUND_DURATION,
+            "python": platform.python_version(),
+        },
+        "baseline": _case_report(baseline),
+        "indexed": _case_report(indexed),
+        "speedup_rounds_per_sec": round(
+            indexed["rounds_per_sec"] / baseline["rounds_per_sec"], 2
+        ),
+        "speedup_wall_time": round(
+            baseline["wall_time_s"] / indexed["wall_time_s"], 2
+        )
+        if indexed["wall_time_s"] > 0
+        else float("inf"),
+        "parity": parity,
+    }
+
+    schedule_parity = (
+        parity["identical_completion_times"]
+        and parity["identical_round_logs"]
+        and parity["identical_round_count"]
+    )
+    report["schedule_parity"] = schedule_parity
+
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    if not schedule_parity:
+        raise AssertionError(
+            f"baseline and indexed runs diverged: {parity}"
+        )
+    return report

@@ -1,0 +1,150 @@
+"""Pre-refactor reference implementations used as the benchmark baseline.
+
+These subclasses reproduce the *seed* cost model of the state layer so the
+benchmark can report an honest before/after comparison from a single build:
+
+* :class:`LegacyClusterState` answers every query by scanning all GPU rows
+  (O(total GPUs)), exactly like the seed ``ClusterState`` did.  Mutations
+  still maintain the new indexes (they are simply ignored by the overridden
+  queries), which keeps mutation costs comparable to the seed's.
+* :class:`LegacyJobState` answers every view by scanning and sorting the whole
+  registry (O(total jobs)), like the seed ``JobState``.
+* :class:`LegacyBloxManager` re-scans every finished job (and each one's GPUs)
+  when pruning, the seed's O(finished x total GPUs) behaviour.
+* :class:`LegacySimulator` wires the three together and disables the
+  event-skipping fast-forward, executing every round like the seed loop.
+
+The scheduling *decisions* are identical either way -- the benchmark asserts
+this -- only the bookkeeping costs differ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.cluster.node import GPU
+from repro.core.blox_manager import BloxManager
+from repro.core.cluster_state import ClusterState, gpu_type_key
+from repro.core.exceptions import UnknownNodeError
+from repro.core.job import Job, JobStatus
+from repro.core.job_state import JobState
+from repro.simulator.engine import Simulator
+
+
+class LegacyClusterState(ClusterState):
+    """Seed-style cluster state: every query is a full scan of the GPU table."""
+
+    def free_gpus(self, gpu_type=None) -> List[GPU]:
+        out = []
+        for gpu in self.gpus.values():
+            if not gpu.is_free:
+                continue
+            if self.nodes[gpu.node_id].failed:
+                continue
+            if gpu_type is not None and gpu_type_key(gpu.gpu_type) != gpu_type_key(gpu_type):
+                continue
+            out.append(gpu)
+        return sorted(out, key=lambda g: g.gpu_id)
+
+    def num_free_gpus(self, gpu_type=None) -> int:
+        return len(self.free_gpus(gpu_type))
+
+    def free_gpus_by_node(self) -> Dict[int, List[GPU]]:
+        out: Dict[int, List[GPU]] = {}
+        for gpu in self.free_gpus():
+            out.setdefault(gpu.node_id, []).append(gpu)
+        for gpus in out.values():
+            gpus.sort(key=lambda g: g.local_gpu_id)
+        return out
+
+    def gpus_on_node(self, node_id: int) -> List[GPU]:
+        if node_id not in self.nodes:
+            raise UnknownNodeError(node_id)
+        return sorted(
+            (g for g in self.gpus.values() if g.node_id == node_id),
+            key=lambda g: g.local_gpu_id,
+        )
+
+    def free_gpus_on_node(self, node_id: int) -> List[GPU]:
+        return [g for g in self.gpus_on_node(node_id) if g.is_free]
+
+    def gpus_for_job(self, job_id: int) -> List[GPU]:
+        return sorted(
+            (g for g in self.gpus.values() if g.job_id == job_id),
+            key=lambda g: g.gpu_id,
+        )
+
+    def nodes_for_job(self, job_id: int) -> List[int]:
+        return sorted({g.node_id for g in self.gpus_for_job(job_id)})
+
+    def jobs_with_allocations(self) -> List[int]:
+        return sorted({g.job_id for g in self.gpus.values() if g.job_id is not None})
+
+    def utilization(self) -> float:
+        if not self.gpus:
+            return 0.0
+        busy = sum(1 for g in self.gpus.values() if not g.is_free)
+        return busy / len(self.gpus)
+
+
+class LegacyJobState(JobState):
+    """Seed-style job registry: every view scans and sorts the whole registry."""
+
+    def jobs_with_status(self, *statuses: JobStatus) -> List[Job]:
+        wanted = set(statuses)
+        return sorted(
+            (j for j in self._jobs.values() if j.status in wanted),
+            key=lambda j: j.job_id,
+        )
+
+    def count_with_status(self, *statuses: JobStatus) -> int:
+        return len(self.jobs_with_status(*statuses))
+
+    def active_jobs(self) -> List[Job]:
+        return [j for j in self.all_jobs() if j.status.is_active]
+
+    def count_active(self) -> int:
+        return len(self.active_jobs())
+
+    def finished_jobs(self) -> List[Job]:
+        return [j for j in self.all_jobs() if j.is_finished]
+
+    def count_finished(self) -> int:
+        return len(self.finished_jobs())
+
+
+class LegacyBloxManager(BloxManager):
+    """Seed-style pruning: rescan every finished job's GPUs each round."""
+
+    def prune_completed_jobs(self, cluster_state, job_state):
+        finished_holding_gpus = [
+            job
+            for job in job_state.finished_jobs()
+            if cluster_state.gpus_for_job(job.job_id)
+        ]
+        for job in finished_holding_gpus:
+            cluster_state.release_job(job.job_id)
+            job.allocated_gpus = []
+        return finished_holding_gpus
+
+
+class LegacySimulator(Simulator):
+    """The scheduling loop on seed-cost state, with event skipping disabled.
+
+    The passed-in cluster is rebuilt as a :class:`LegacyClusterState` (same
+    nodes, GPU ids and assignments), so the simulation mutates the rebuilt
+    copy, not the object the caller handed in.
+    """
+
+    def __init__(self, cluster_state, *args, **kwargs) -> None:
+        if not isinstance(cluster_state, LegacyClusterState):
+            cluster_state = cluster_state.copy_as(LegacyClusterState)
+        kwargs["fast_forward"] = False
+        kwargs.setdefault("job_state", LegacyJobState())
+        super().__init__(cluster_state, *args, **kwargs)
+        self.manager = LegacyBloxManager(
+            trace_jobs=self.jobs,
+            round_duration=self.manager.round_duration,
+            execution_model=self.execution_model,
+            cluster_manager=self.manager.cluster_manager,
+        )

@@ -1,0 +1,54 @@
+"""The seeded benchmark workload: a 256-GPU Philly-style load scenario.
+
+The benchmark mirrors the setup of the paper's load-sweep experiments
+(Fig. 8-9): a homogeneous V100 cluster of 4-GPU nodes and a Poisson
+Philly-like trace sized to keep the cluster busy (~70% offered load) with a
+heavy-tailed duration distribution, so the simulation exercises both the
+contended regime (long queues, many placement decisions per round) and the
+drain regime (a few stragglers running alone for thousands of rounds -- the
+regime event skipping targets).  Everything is seeded so the baseline and the
+indexed run replay exactly the same scenario.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.builder import build_cluster
+from repro.core.cluster_state import ClusterState
+from repro.workloads.philly import generate_philly_trace
+from repro.workloads.trace import Trace
+
+BENCH_SEED = 20240301
+
+#: Full benchmark: 64 nodes x 4 V100 = 256 GPUs.
+FULL_NODES = 64
+FULL_JOBS = 600
+FULL_JOBS_PER_HOUR = 8.0
+
+#: Smoke benchmark (CI): 8 nodes x 4 = 32 GPUs, a few dozen jobs.
+SMOKE_NODES = 8
+SMOKE_JOBS = 60
+SMOKE_JOBS_PER_HOUR = 4.0
+
+GPUS_PER_NODE = 4
+ROUND_DURATION = 300.0
+
+
+def bench_cluster(smoke: bool = False) -> ClusterState:
+    """Build a fresh benchmark cluster (new state object per run)."""
+    return build_cluster(
+        num_nodes=SMOKE_NODES if smoke else FULL_NODES,
+        gpus_per_node=GPUS_PER_NODE,
+        gpu_type="v100",
+        network_bw_gbps=10.0,
+    )
+
+
+def bench_trace(smoke: bool = False) -> Trace:
+    """Generate the seeded Philly-style benchmark trace."""
+    if smoke:
+        return generate_philly_trace(
+            num_jobs=SMOKE_JOBS, jobs_per_hour=SMOKE_JOBS_PER_HOUR, seed=BENCH_SEED
+        )
+    return generate_philly_trace(
+        num_jobs=FULL_JOBS, jobs_per_hour=FULL_JOBS_PER_HOUR, seed=BENCH_SEED
+    )

@@ -49,5 +49,7 @@ class FailureInjector:
                 affected_jobs.extend(cluster_state.mark_node_failed(node.node_id))
                 self.failed_rounds += 1
             elif node.failed and self._rng.random() < self.recovery_prob:
-                node.failed = False
+                # Go through the indexed API so the cluster's cached free-GPU
+                # counters stay consistent with node health.
+                cluster_state.mark_node_recovered(node.node_id)
         return affected_jobs

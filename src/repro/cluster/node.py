@@ -9,7 +9,7 @@ Per-GPU assignment state lives in :class:`~repro.core.cluster_state.ClusterState
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Dict, List, Optional
 
 from repro.cluster.gpu_types import GPUType, get_gpu_type
 from repro.cluster.topology import IntraNodeTopology, uniform_topology
@@ -104,3 +104,27 @@ class Node:
     def aux_allocation(self, job_id: int) -> tuple:
         """Return ``(cpus, mem_gb)`` currently reserved for a job on this node."""
         return self._cpu_by_job.get(job_id, 0.0), self._mem_by_job.get(job_id, 0.0)
+
+    def aux_job_ids(self) -> List[int]:
+        """Ids of jobs holding any CPU/memory reservation on this node, sorted."""
+        return sorted(set(self._cpu_by_job) | set(self._mem_by_job))
+
+    def aux_allocations(self) -> Dict[int, tuple]:
+        """All per-job ``(cpus, mem_gb)`` reservations on this node."""
+        return {job_id: self.aux_allocation(job_id) for job_id in self.aux_job_ids()}
+
+    def clone(self) -> "Node":
+        """Deep copy built from public APIs (used by cluster snapshots)."""
+        new_node = Node(
+            node_id=self.node_id,
+            num_gpus=self.num_gpus,
+            gpu_type_name=self.gpu_type_name,
+            cpu_cores=self.cpu_cores,
+            mem_gb=self.mem_gb,
+            network_bw_gbps=self.network_bw_gbps,
+            topology=self.topology,
+            failed=self.failed,
+        )
+        for job_id, (cpus, mem_gb) in self.aux_allocations().items():
+            new_node.allocate_aux(job_id, cpus, mem_gb)
+        return new_node

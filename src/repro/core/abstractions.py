@@ -75,6 +75,17 @@ class AdmissionPolicy:
 
     name = "admission"
 
+    #: Whether the simulator may skip this policy's per-round calls during
+    #: event-free stretches (see :class:`repro.simulator.engine.Simulator`).
+    #: Policies whose behaviour depends on being invoked every round must set
+    #: this to ``False``.
+    supports_fast_forward = True
+
+    #: Whether ``accept([])`` with an empty pending queue is a guaranteed
+    #: no-op, so the call can be skipped while the admission pipeline is
+    #: quiescent.  Subclasses with per-round side effects must set ``False``.
+    steady_state_safe = True
+
     def accept(
         self,
         new_jobs: Sequence[Job],
@@ -93,6 +104,18 @@ class SchedulingPolicy:
 
     name = "scheduling"
 
+    #: Whether the simulator may skip this policy's ``schedule`` calls while
+    #: the cluster is idle (no active jobs).  Policies with per-call internal
+    #: clocks (e.g. the synthesizer's evaluation counter) must set ``False``.
+    supports_fast_forward = True
+
+    #: Whether, when every active job is RUNNING with exactly its requested
+    #: gang and nothing else can change, this policy is guaranteed to re-emit
+    #: the same demands (so rescheduling is a no-op and the round can be
+    #: skipped).  Conservatively ``False``; audited stateless gang policies
+    #: (FIFO, SRTF, LAS) opt in.
+    steady_state_safe = False
+
     def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
         raise NotImplementedError
 
@@ -101,6 +124,13 @@ class PlacementPolicy:
     """Maps the priority list to concrete GPUs and decides which jobs to suspend."""
 
     name = "placement"
+
+    #: See :attr:`SchedulingPolicy.supports_fast_forward`.
+    supports_fast_forward = True
+
+    #: Whether a steady-state round (all jobs kept) is a guaranteed no-op for
+    #: this policy.  ``BasePlacementPolicy`` sets this to ``True``.
+    steady_state_safe = False
 
     def place(
         self,
@@ -119,6 +149,19 @@ class ClusterManager:
     def update(self, cluster_state: ClusterState, current_time: float) -> List[int]:
         """Apply membership changes; returns job ids that must be rescheduled."""
         return []
+
+    def next_event_time(self, current_time: float) -> Optional[float]:
+        """Earliest future time at which :meth:`update` may change anything.
+
+        ``None`` means "no scheduled events ever" (the default manager never
+        changes membership).  The simulator uses this to fast-forward through
+        event-free stretches.  Subclasses that override :meth:`update` without
+        overriding this method get event skipping disabled automatically (the
+        simulator cannot predict their events); override it -- returning
+        ``current_time`` disables skipping explicitly, a concrete event time
+        re-enables it -- to opt back in.
+        """
+        return None
 
 
 class MetricCollector:

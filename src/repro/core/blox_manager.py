@@ -71,11 +71,15 @@ class BloxManager:
     def prune_completed_jobs(
         self, cluster_state: ClusterState, job_state: JobState
     ) -> List[Job]:
-        """Release resources held by jobs that finished during the last round."""
+        """Release resources held by jobs that finished during the last round.
+
+        Walks the cluster's job->GPU index (jobs currently holding GPUs are the
+        only candidates) instead of re-scanning every finished job each round.
+        """
         finished_holding_gpus = [
-            job
-            for job in job_state.finished_jobs()
-            if cluster_state.gpus_for_job(job.job_id)
+            job_state.get(job_id)
+            for job_id in cluster_state.jobs_with_allocations()
+            if job_id in job_state and job_state.get(job_id).is_finished
         ]
         for job in finished_holding_gpus:
             cluster_state.release_job(job.job_id)
@@ -130,6 +134,10 @@ class BloxManager:
     def pending_arrivals(self) -> int:
         """Number of trace jobs that have not arrived yet."""
         return len(self._wait_queue)
+
+    def next_arrival_time(self) -> Optional[float]:
+        """Arrival time of the next queued trace job, or ``None`` if all arrived."""
+        return self._wait_queue[0].arrival_time if self._wait_queue else None
 
     def all_arrived(self) -> bool:
         return not self._wait_queue

@@ -6,14 +6,29 @@ per-node dictionary of hardware facts.  This class provides the same view with
 query helpers used by placement policies, along with assignment bookkeeping
 that raises :class:`~repro.core.exceptions.AllocationError` on double
 allocation so inconsistent placement decisions are caught immediately.
+
+The state is *indexed*: per-node free-GPU sets, a job->GPU index and cached
+free/busy counters are updated invariantly by every mutation
+(``assign``/``release_job``/``add_node``/``remove_node``/``mark_node_failed``/
+``mark_node_recovered``), so the hot queries (``free_gpus``, ``gpus_for_job``,
+``gpus_on_node``, ``num_free_gpus``, ``utilization``) cost O(result) instead of
+O(total GPUs).  ``check_invariants`` recomputes everything from scratch and is
+used by the test suite to prove the indexes never drift from the ground truth.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
+from repro.cluster.gpu_types import GPUType
 from repro.cluster.node import GPU, Node
 from repro.core.exceptions import AllocationError, UnknownNodeError
+
+
+def gpu_type_key(gpu_type: Union[str, GPUType]) -> str:
+    """Normalised lookup key for a GPU type given either a name or a GPUType."""
+    name = gpu_type.name if isinstance(gpu_type, GPUType) else str(gpu_type)
+    return name.lower()
 
 
 class ClusterState:
@@ -23,19 +38,29 @@ class ClusterState:
         self.nodes: Dict[int, Node] = {}
         self.gpus: Dict[int, GPU] = {}
         self._next_gpu_id = 0
+        #: GPU ids per node, ordered by local GPU id (fixed once a node joins).
+        self._node_gpu_ids: Dict[int, List[int]] = {}
+        #: Free GPU ids per node (membership set; ordering comes from the list above).
+        self._free_by_node: Dict[int, Set[int]] = {}
+        #: job id -> set of GPU ids it currently holds.
+        self._job_gpu_ids: Dict[int, Set[int]] = {}
+        #: job id -> node ids where auxiliary CPU/memory is reserved for it.
+        self._aux_nodes_by_job: Dict[int, Set[int]] = {}
+        #: Cached counters kept in sync by every mutation.
+        self._busy_count = 0
+        self._free_healthy_count = 0
+        self._free_healthy_by_type: Dict[str, int] = {}
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
 
     # ------------------------------------------------------------------
-    # Cluster management (add/remove nodes)
+    # Cluster management (add/remove nodes, failures)
     # ------------------------------------------------------------------
 
     def add_node(self, node: Node) -> List[int]:
         """Register a node and create GPU rows for it; returns new global GPU ids."""
-        if node.node_id in self.nodes:
-            raise AllocationError(f"node {node.node_id} is already part of the cluster")
-        self.nodes[node.node_id] = node
+        self._adopt_node(node)
         new_ids = []
         for local_id in range(node.num_gpus):
             gpu = GPU(
@@ -44,31 +69,111 @@ class ClusterState:
                 local_gpu_id=local_id,
                 gpu_type=node.gpu_type,
             )
-            self.gpus[gpu.gpu_id] = gpu
+            self._register_gpu(gpu)
             new_ids.append(gpu.gpu_id)
             self._next_gpu_id += 1
         return new_ids
 
+    def _adopt_node(self, node: Node) -> None:
+        """Register a node record without creating GPUs (snapshot/add_node helper)."""
+        if node.node_id in self.nodes:
+            raise AllocationError(f"node {node.node_id} is already part of the cluster")
+        self.nodes[node.node_id] = node
+        self._node_gpu_ids[node.node_id] = []
+        self._free_by_node[node.node_id] = set()
+
+    def _register_gpu(self, gpu: GPU) -> None:
+        """Index one GPU row (free or already assigned) under its node."""
+        if gpu.node_id not in self.nodes:
+            raise UnknownNodeError(gpu.node_id)
+        node = self.nodes[gpu.node_id]
+        self.gpus[gpu.gpu_id] = gpu
+        ids = self._node_gpu_ids[gpu.node_id]
+        ids.append(gpu.gpu_id)
+        ids.sort(key=lambda g: self.gpus[g].local_gpu_id)
+        if gpu.is_free:
+            self._free_by_node[gpu.node_id].add(gpu.gpu_id)
+            if not node.failed:
+                self._free_healthy_count += 1
+                key = gpu_type_key(gpu.gpu_type)
+                self._free_healthy_by_type[key] = self._free_healthy_by_type.get(key, 0) + 1
+        else:
+            self._job_gpu_ids.setdefault(gpu.job_id, set()).add(gpu.gpu_id)
+            self._busy_count += 1
+
     def remove_node(self, node_id: int) -> List[int]:
-        """Remove a node (e.g. on failure); returns ids of jobs that were running on it."""
+        """Remove a node (e.g. on permanent failure); returns ids of evicted jobs.
+
+        Jobs that had GPUs on the node lose their *entire* allocation (a gang
+        job cannot keep running with a missing shard): their GPUs on surviving
+        nodes are freed and every auxiliary CPU/memory reservation they hold --
+        on this node or any other -- is released, so an eviction never leaks
+        per-node aux bookkeeping.  Callers are responsible for resetting the
+        evicted jobs' own ``allocated_gpus``/status (the scheduling loop does
+        this by preempting them).
+        """
         if node_id not in self.nodes:
             raise UnknownNodeError(node_id)
-        evicted_jobs = []
-        for gpu_id in [g.gpu_id for g in self.gpus.values() if g.node_id == node_id]:
-            gpu = self.gpus.pop(gpu_id)
-            if gpu.job_id is not None and gpu.job_id not in evicted_jobs:
-                evicted_jobs.append(gpu.job_id)
+        node = self.nodes[node_id]
+        evicted_jobs: List[int] = []
+        for gpu_id in self._node_gpu_ids[node_id]:
+            job_id = self.gpus[gpu_id].job_id
+            if job_id is not None and job_id not in evicted_jobs:
+                evicted_jobs.append(job_id)
+        # Free each evicted job's full allocation (including GPUs on other
+        # nodes) and its aux reservations everywhere.
+        for job_id in evicted_jobs:
+            self.release_job(job_id)
+        # Drop any remaining aux bookkeeping that pointed at this node.
+        for job_id in node.aux_job_ids():
+            node.release_aux(job_id)
+            nodes_for_job = self._aux_nodes_by_job.get(job_id)
+            if nodes_for_job is not None:
+                nodes_for_job.discard(node_id)
+                if not nodes_for_job:
+                    del self._aux_nodes_by_job[job_id]
+        # Remove the node's (now all free) GPUs from the indexes.
+        for gpu_id in self._node_gpu_ids[node_id]:
+            del self.gpus[gpu_id]
+            if not node.failed:
+                self._free_healthy_count -= 1
+                key = gpu_type_key(node.gpu_type)
+                self._free_healthy_by_type[key] -= 1
+        del self._node_gpu_ids[node_id]
+        del self._free_by_node[node_id]
         del self.nodes[node_id]
         return evicted_jobs
 
     def mark_node_failed(self, node_id: int) -> List[int]:
         """Mark a node failed without removing it; returns jobs running on it."""
         node = self.node(node_id)
-        node.failed = True
         affected = sorted(
-            {g.job_id for g in self.gpus.values() if g.node_id == node_id and g.job_id is not None}
+            {
+                self.gpus[g].job_id
+                for g in self._node_gpu_ids[node_id]
+                if self.gpus[g].job_id is not None
+            }
         )
+        if not node.failed:
+            node.failed = True
+            free_here = len(self._free_by_node[node_id])
+            self._free_healthy_count -= free_here
+            key = gpu_type_key(node.gpu_type)
+            self._free_healthy_by_type[key] = (
+                self._free_healthy_by_type.get(key, 0) - free_here
+            )
         return affected
+
+    def mark_node_recovered(self, node_id: int) -> None:
+        """Bring a failed node back into the schedulable pool."""
+        node = self.node(node_id)
+        if not node.failed:
+            return
+        node.failed = False
+        free_here = len(self._free_by_node[node_id])
+        self._free_healthy_count += free_here
+        key = gpu_type_key(node.gpu_type)
+        self._free_healthy_by_type[key] = self._free_healthy_by_type.get(key, 0) + free_here
 
     def node(self, node_id: int) -> Node:
         if node_id not in self.nodes:
@@ -91,46 +196,67 @@ class ClusterState:
         """Nodes that have not been marked failed."""
         return [n for n in self.nodes.values() if not n.failed]
 
-    def free_gpus(self, gpu_type: Optional[str] = None) -> List[GPU]:
+    def free_gpus(self, gpu_type: Optional[Union[str, GPUType]] = None) -> List[GPU]:
         """All unassigned GPUs on healthy nodes, optionally filtered by type."""
-        out = []
-        for gpu in self.gpus.values():
-            if not gpu.is_free:
+        wanted = gpu_type_key(gpu_type) if gpu_type is not None else None
+        out: List[int] = []
+        for node_id, node in self.nodes.items():
+            if node.failed:
                 continue
-            if self.nodes[gpu.node_id].failed:
+            if wanted is not None and gpu_type_key(node.gpu_type) != wanted:
                 continue
-            if gpu_type is not None and gpu.gpu_type.name != gpu_type.lower():
-                continue
-            out.append(gpu)
-        return sorted(out, key=lambda g: g.gpu_id)
+            out.extend(self._free_by_node[node_id])
+        return [self.gpus[g] for g in sorted(out)]
 
-    def num_free_gpus(self, gpu_type: Optional[str] = None) -> int:
-        return len(self.free_gpus(gpu_type))
+    def num_free_gpus(self, gpu_type: Optional[Union[str, GPUType]] = None) -> int:
+        """Count of free GPUs on healthy nodes; O(1) via the cached counters."""
+        if gpu_type is None:
+            return self._free_healthy_count
+        return self._free_healthy_by_type.get(gpu_type_key(gpu_type), 0)
+
+    def free_gpus_by_node(self) -> Dict[int, List[GPU]]:
+        """Free GPUs on healthy nodes grouped per node, ordered by local GPU id.
+
+        This is the bulk query placement policies build their availability view
+        from; it costs O(free GPUs), not O(total GPUs).
+        """
+        out: Dict[int, List[GPU]] = {}
+        for node_id, node in self.nodes.items():
+            if node.failed:
+                continue
+            free_ids = self._free_by_node[node_id]
+            if not free_ids:
+                continue
+            out[node_id] = [
+                self.gpus[g] for g in self._node_gpu_ids[node_id] if g in free_ids
+            ]
+        return out
 
     def gpus_on_node(self, node_id: int) -> List[GPU]:
         if node_id not in self.nodes:
             raise UnknownNodeError(node_id)
-        return sorted(
-            (g for g in self.gpus.values() if g.node_id == node_id),
-            key=lambda g: g.local_gpu_id,
-        )
+        return [self.gpus[g] for g in self._node_gpu_ids[node_id]]
 
     def free_gpus_on_node(self, node_id: int) -> List[GPU]:
-        return [g for g in self.gpus_on_node(node_id) if g.is_free]
+        if node_id not in self.nodes:
+            raise UnknownNodeError(node_id)
+        free_ids = self._free_by_node[node_id]
+        return [self.gpus[g] for g in self._node_gpu_ids[node_id] if g in free_ids]
 
     def gpus_for_job(self, job_id: int) -> List[GPU]:
-        return sorted(
-            (g for g in self.gpus.values() if g.job_id == job_id),
-            key=lambda g: g.gpu_id,
-        )
+        return [self.gpus[g] for g in sorted(self._job_gpu_ids.get(job_id, ()))]
 
     def nodes_for_job(self, job_id: int) -> List[int]:
         """Distinct node ids hosting a job, sorted; empty if the job is not placed."""
-        return sorted({g.node_id for g in self.gpus_for_job(job_id)})
+        return sorted({self.gpus[g].node_id for g in self._job_gpu_ids.get(job_id, ())})
 
     def job_is_consolidated(self, job_id: int) -> bool:
         """True when all of a job's GPUs are on a single node."""
         return len(self.nodes_for_job(job_id)) <= 1
+
+    def jobs_with_allocations(self) -> List[int]:
+        """Ids of jobs currently holding at least one GPU, sorted."""
+        return sorted(self._job_gpu_ids)
 
     def gpu(self, gpu_id: int) -> GPU:
         if gpu_id not in self.gpus:
@@ -144,41 +270,71 @@ class ClusterState:
     def assign(self, job_id: int, gpu_ids: Sequence[int]) -> None:
         """Assign the given GPUs to a job.
 
-        All GPUs must currently be free; a partial assignment is rolled back on
-        error so the cluster state never ends up half-updated.
+        All GPUs must currently be free (and distinct); the whole assignment is
+        validated before any index is touched so the cluster state never ends
+        up half-updated.
         """
-        taken: List[int] = []
-        try:
-            for gpu_id in gpu_ids:
-                gpu = self.gpu(gpu_id)
-                if not gpu.is_free:
-                    raise AllocationError(
-                        f"GPU {gpu_id} is already assigned to job {gpu.job_id}, "
-                        f"cannot assign to job {job_id}"
-                    )
-                gpu.job_id = job_id
-                taken.append(gpu_id)
-        except AllocationError:
-            for gpu_id in taken:
-                self.gpus[gpu_id].job_id = None
-            raise
+        if not gpu_ids:
+            return  # no-op, and no phantom entry in the job->GPU index
+        seen: Set[int] = set()
+        for gpu_id in gpu_ids:
+            gpu = self.gpu(gpu_id)
+            if not gpu.is_free or gpu_id in seen:
+                owner = job_id if gpu_id in seen else gpu.job_id
+                raise AllocationError(
+                    f"GPU {gpu_id} is already assigned to job {owner}, "
+                    f"cannot assign to job {job_id}"
+                )
+            seen.add(gpu_id)
+        held = self._job_gpu_ids.setdefault(job_id, set())
+        for gpu_id in gpu_ids:
+            gpu = self.gpus[gpu_id]
+            gpu.job_id = job_id
+            held.add(gpu_id)
+            self._free_by_node[gpu.node_id].discard(gpu_id)
+            self._busy_count += 1
+            node = self.nodes[gpu.node_id]
+            if not node.failed:
+                self._free_healthy_count -= 1
+                self._free_healthy_by_type[gpu_type_key(gpu.gpu_type)] -= 1
+
+    def reserve_aux(self, job_id: int, node_id: int, cpus: float, mem_gb: float) -> None:
+        """Reserve CPU/memory for a job on a node, tracking it for release.
+
+        Launch mechanisms must go through this (rather than calling
+        ``Node.allocate_aux`` directly) so :meth:`release_job` can release aux
+        reservations in O(nodes hosting the job) instead of scanning the
+        cluster.
+        """
+        self.node(node_id).allocate_aux(job_id, cpus, mem_gb)
+        self._aux_nodes_by_job.setdefault(job_id, set()).add(node_id)
 
     def release_job(self, job_id: int) -> List[int]:
         """Free every GPU (and auxiliary resources) held by a job; returns freed GPU ids."""
-        freed = []
-        for gpu in self.gpus_for_job(job_id):
+        freed = sorted(self._job_gpu_ids.pop(job_id, set()))
+        aux_nodes = self._aux_nodes_by_job.pop(job_id, set())
+        for gpu_id in freed:
+            gpu = self.gpus[gpu_id]
             gpu.job_id = None
-            freed.append(gpu.gpu_id)
-        for node in self.nodes.values():
-            node.release_aux(job_id)
+            self._free_by_node[gpu.node_id].add(gpu_id)
+            self._busy_count -= 1
+            node = self.nodes[gpu.node_id]
+            if not node.failed:
+                self._free_healthy_count += 1
+                key = gpu_type_key(gpu.gpu_type)
+                self._free_healthy_by_type[key] = self._free_healthy_by_type.get(key, 0) + 1
+            # Defensive: cover aux reserved outside reserve_aux on hosting nodes.
+            aux_nodes.add(gpu.node_id)
+        for node_id in aux_nodes:
+            if node_id in self.nodes:
+                self.nodes[node_id].release_aux(job_id)
         return freed
 
     def utilization(self) -> float:
         """Fraction of GPUs currently assigned to some job."""
         if not self.gpus:
             return 0.0
-        busy = sum(1 for g in self.gpus.values() if not g.is_free)
-        return busy / len(self.gpus)
+        return self._busy_count / len(self.gpus)
 
     # ------------------------------------------------------------------
     # Tabular view (the Blox GPU dataframe)
@@ -201,34 +357,90 @@ class ClusterState:
         return rows
 
     def snapshot(self) -> "ClusterState":
-        """Deep copy used by shadow simulations (synthesizer)."""
-        clone = ClusterState()
+        """Deep copy used by shadow simulations (synthesizer).
+
+        Built entirely from public APIs: nodes are cloned via
+        :meth:`~repro.cluster.node.Node.clone` (which replays aux reservations
+        through ``allocate_aux``) and GPUs re-registered through the same
+        indexing path the live state uses.
+        """
+        return self.copy_as(type(self))
+
+    def copy_as(self, cluster_cls: type) -> "ClusterState":
+        """Deep copy into a (possibly different) ``ClusterState`` subclass.
+
+        Used by :meth:`snapshot` and by the benchmark to rebuild a cluster as
+        the seed-cost :class:`~repro.bench.legacy.LegacyClusterState`.
+        """
+        clone = cluster_cls()
         for node in self.nodes.values():
-            new_node = Node(
-                node_id=node.node_id,
-                num_gpus=node.num_gpus,
-                gpu_type_name=node.gpu_type_name,
-                cpu_cores=node.cpu_cores,
-                mem_gb=node.mem_gb,
-                network_bw_gbps=node.network_bw_gbps,
-                topology=node.topology,
-                failed=node.failed,
-            )
-            new_node.cpu_allocated = node.cpu_allocated
-            new_node.mem_allocated = node.mem_allocated
-            new_node._cpu_by_job = dict(node._cpu_by_job)
-            new_node._mem_by_job = dict(node._mem_by_job)
-            clone.nodes[new_node.node_id] = new_node
-        for gpu in self.gpus.values():
-            clone.gpus[gpu.gpu_id] = GPU(
-                gpu_id=gpu.gpu_id,
-                node_id=gpu.node_id,
-                local_gpu_id=gpu.local_gpu_id,
-                gpu_type=gpu.gpu_type,
-                job_id=gpu.job_id,
+            clone._adopt_node(node.clone())
+        for gpu in sorted(self.gpus.values(), key=lambda g: g.gpu_id):
+            clone._register_gpu(
+                GPU(
+                    gpu_id=gpu.gpu_id,
+                    node_id=gpu.node_id,
+                    local_gpu_id=gpu.local_gpu_id,
+                    gpu_type=gpu.gpu_type,
+                    job_id=gpu.job_id,
+                )
             )
         clone._next_gpu_id = self._next_gpu_id
+        clone._aux_nodes_by_job = {
+            job_id: set(node_ids) for job_id, node_ids in self._aux_nodes_by_job.items()
+        }
         return clone
+
+    # ------------------------------------------------------------------
+    # Invariant checking (test support)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Recompute every index from the raw GPU rows and assert they agree.
+
+        Raises ``AssertionError`` on any drift; used by the test suite after
+        every mutation sequence.
+        """
+        busy = 0
+        free_healthy = 0
+        free_by_type: Dict[str, int] = {}
+        job_gpus: Dict[int, Set[int]] = {}
+        for gpu in self.gpus.values():
+            assert gpu.node_id in self.nodes, f"GPU {gpu.gpu_id} on unknown node"
+            node = self.nodes[gpu.node_id]
+            in_free = gpu.gpu_id in self._free_by_node[gpu.node_id]
+            assert in_free == gpu.is_free, f"free index wrong for GPU {gpu.gpu_id}"
+            if gpu.is_free:
+                if not node.failed:
+                    free_healthy += 1
+                    key = gpu_type_key(gpu.gpu_type)
+                    free_by_type[key] = free_by_type.get(key, 0) + 1
+            else:
+                busy += 1
+                job_gpus.setdefault(gpu.job_id, set()).add(gpu.gpu_id)
+        assert busy == self._busy_count, f"busy {busy} != cached {self._busy_count}"
+        assert free_healthy == self._free_healthy_count, (
+            f"free {free_healthy} != cached {self._free_healthy_count}"
+        )
+        cached_by_type = {k: v for k, v in self._free_healthy_by_type.items() if v}
+        assert free_by_type == cached_by_type, (
+            f"per-type free {free_by_type} != cached {cached_by_type}"
+        )
+        assert job_gpus == {k: v for k, v in self._job_gpu_ids.items() if v}, (
+            "job->GPU index drifted"
+        )
+        for node_id in self.nodes:
+            listed = self._node_gpu_ids[node_id]
+            actual = sorted(
+                (g.gpu_id for g in self.gpus.values() if g.node_id == node_id),
+                key=lambda g: self.gpus[g].local_gpu_id,
+            )
+            assert listed == actual, f"per-node GPU list drifted for node {node_id}"
+        for job_id, node_ids in self._aux_nodes_by_job.items():
+            for node_id in node_ids:
+                assert node_id in self.nodes, (
+                    f"aux index references removed node {node_id} for job {job_id}"
+                )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

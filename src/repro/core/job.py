@@ -56,6 +56,35 @@ def _next_job_id() -> int:
     return next(_job_counter)
 
 
+class _StatusField:
+    """Data descriptor routing ``job.status`` writes through the owning registry.
+
+    :class:`~repro.core.job_state.JobState` keeps status-indexed job sets; for
+    those indexes to stay correct *every* status write -- whether it goes
+    through ``JobState.set_status`` or assigns ``job.status`` directly (as the
+    launch/preemption mechanisms and the execution model do) -- must notify the
+    registry.  The descriptor stores the raw value in ``job.__dict__`` and
+    calls back into the registry recorded by ``JobState.track``.
+    """
+
+    def __set_name__(self, owner, name) -> None:
+        self._attr = "_" + name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            # Dataclasses read the class attribute to obtain the __init__
+            # default for the field.
+            return JobStatus.SUBMITTED
+        return obj.__dict__[self._attr]
+
+    def __set__(self, obj, value) -> None:
+        old = obj.__dict__.get(self._attr)
+        obj.__dict__[self._attr] = value
+        registry = obj.__dict__.get("_registry")
+        if registry is not None and old is not value:
+            registry._reindex_status(obj, old, value)
+
+
 @dataclass
 class ScalingProfile:
     """How a job's throughput scales with the number of allocated GPUs.
@@ -128,7 +157,7 @@ class Job:
     metadata: Dict[str, object] = field(default_factory=dict)
 
     # --- dynamic state ------------------------------------------------------
-    status: JobStatus = JobStatus.SUBMITTED
+    status: JobStatus = _StatusField()
     admitted_time: Optional[float] = None
     first_schedule_time: Optional[float] = None
     completion_time: Optional[float] = None

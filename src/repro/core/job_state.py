@@ -5,26 +5,63 @@ schedulers track different metrics.  Here each job is a
 :class:`~repro.core.job.Job` dataclass with an open ``metrics`` dictionary, and
 ``JobState`` owns the collection: active jobs, jobs waiting for admission and
 finished jobs, plus the query helpers that scheduling policies rely on.
+
+The registry is *status-indexed*: one id-set per :class:`JobStatus`, updated
+through a single transition path.  :meth:`set_status` is the explicit
+transition API; direct ``job.status = ...`` writes from mechanisms and the
+execution model are also routed here by the status descriptor on ``Job``, so
+the views (``runnable_jobs``, ``running_jobs``, ``finished_jobs``, ...) read
+an index instead of scanning and re-sorting the whole registry every round.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.core.exceptions import UnknownJobError
 from repro.core.job import Job, JobStatus
 
+#: Statuses in which a job is admitted and still has work to do / terminal
+#: statuses.  Derived from the JobStatus predicates so there is exactly one
+#: source of truth for the status partition.
+ACTIVE_STATUSES = tuple(s for s in JobStatus if s.is_active)
+FINISHED_STATUSES = tuple(s for s in JobStatus if s.is_terminal)
+
 
 class JobState:
-    """Registry of all submitted jobs with status-based views."""
+    """Registry of all submitted jobs with status-indexed views."""
 
     def __init__(self) -> None:
         self._jobs: Dict[int, Job] = {}
+        self._by_status: Dict[JobStatus, Set[int]] = {s: set() for s in JobStatus}
         #: Simulated (or wall-clock) time of the current round; the scheduling
         #: loop refreshes this before invoking policies so policies that need a
         #: notion of "now" (Themis' fairness estimate, Tiresias' starvation
         #: guard, Optimus' convergence rate) can read it without a side channel.
         self.current_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Status index maintenance
+    # ------------------------------------------------------------------
+
+    def _reindex_status(self, job: Job, old: Optional[JobStatus], new: JobStatus) -> None:
+        """Move a tracked job between status sets (called by the Job descriptor)."""
+        if self._jobs.get(job.job_id) is not job:
+            return
+        if old is not None:
+            self._by_status[old].discard(job.job_id)
+        self._by_status[new].add(job.job_id)
+
+    def set_status(self, job_id: int, status: JobStatus) -> Job:
+        """Transition a job to ``status``, keeping the status indexes in sync.
+
+        This is the canonical transition API; assigning ``job.status`` directly
+        is equivalent for tracked jobs (the descriptor notifies the registry)
+        but callers holding only an id should use this.
+        """
+        job = self.get(job_id)
+        job.status = status
+        return job
 
     # ------------------------------------------------------------------
     # Mutation
@@ -38,16 +75,34 @@ class JobState:
         """
         added = []
         for job in jobs:
+            self.track(job)
             job.status = JobStatus.RUNNABLE
             if job.admitted_time is None:
                 job.admitted_time = current_time
-            self._jobs[job.job_id] = job
             added.append(job)
         return added
 
     def track(self, job: Job) -> None:
-        """Track a job without changing its status (used for admission queues)."""
+        """Track a job without changing its status (used for admission queues).
+
+        A job belongs to at most one registry: tracking an object another
+        ``JobState`` still owns would leave that registry's status index
+        permanently stale, so it is rejected -- track a ``snapshot()`` or
+        ``copy_static()`` of the job instead.
+        """
+        foreign = job.__dict__.get("_registry")
+        if foreign is not None and foreign is not self:
+            raise ValueError(
+                f"job {job.job_id} is already tracked by another JobState; "
+                "track a snapshot() or copy_static() of it instead"
+            )
+        previous = self._jobs.get(job.job_id)
+        if previous is not None and previous is not job:
+            self._by_status[previous.status].discard(previous.job_id)
+            previous.__dict__.pop("_registry", None)
         self._jobs[job.job_id] = job
+        job.__dict__["_registry"] = self
+        self._by_status[job.status].add(job.job_id)
 
     def prune_completed_jobs(self) -> List[Job]:
         """Return (but keep a record of) jobs that reached a terminal state.
@@ -56,7 +111,7 @@ class JobState:
         registry so that end-of-run metrics can be computed, but they no longer
         appear in :meth:`active_jobs`.
         """
-        return [job for job in self._jobs.values() if job.is_finished]
+        return self.finished_jobs()
 
     # ------------------------------------------------------------------
     # Lookup and views
@@ -77,15 +132,21 @@ class JobState:
         return sorted(self._jobs.values(), key=lambda j: j.job_id)
 
     def jobs_with_status(self, *statuses: JobStatus) -> List[Job]:
-        wanted = set(statuses)
-        return sorted(
-            (j for j in self._jobs.values() if j.status in wanted),
-            key=lambda j: j.job_id,
-        )
+        ids: List[int] = []
+        for status in dict.fromkeys(statuses):
+            ids.extend(self._by_status[status])
+        return [self._jobs[i] for i in sorted(ids)]
+
+    def count_with_status(self, *statuses: JobStatus) -> int:
+        """O(1)-per-status count of jobs in the given statuses."""
+        return sum(len(self._by_status[s]) for s in dict.fromkeys(statuses))
 
     def active_jobs(self) -> List[Job]:
         """Jobs that have been admitted and still have work left."""
-        return [j for j in self.all_jobs() if j.status.is_active]
+        return self.jobs_with_status(*ACTIVE_STATUSES)
+
+    def count_active(self) -> int:
+        return self.count_with_status(*ACTIVE_STATUSES)
 
     def running_jobs(self) -> List[Job]:
         return self.jobs_with_status(JobStatus.RUNNING)
@@ -97,7 +158,10 @@ class JobState:
         )
 
     def finished_jobs(self) -> List[Job]:
-        return [j for j in self.all_jobs() if j.is_finished]
+        return self.jobs_with_status(*FINISHED_STATUSES)
+
+    def count_finished(self) -> int:
+        return self.count_with_status(*FINISHED_STATUSES)
 
     def waiting_admission_jobs(self) -> List[Job]:
         return self.jobs_with_status(JobStatus.WAITING_ADMISSION)
@@ -127,11 +191,29 @@ class JobState:
         clone = JobState()
         clone.current_time = self.current_time
         for job in self._jobs.values():
-            clone._jobs[job.job_id] = job.snapshot()
+            clone.track(job.snapshot())
         return clone
+
+    # ------------------------------------------------------------------
+    # Invariant checking (test support)
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert the status indexes exactly partition the tracked jobs."""
+        seen: Set[int] = set()
+        for status, ids in self._by_status.items():
+            for job_id in ids:
+                assert job_id in self._jobs, f"index references unknown job {job_id}"
+                assert self._jobs[job_id].status is status, (
+                    f"job {job_id} indexed under {status} but has status "
+                    f"{self._jobs[job_id].status}"
+                )
+                assert job_id not in seen, f"job {job_id} indexed under two statuses"
+                seen.add(job_id)
+        assert seen == set(self._jobs), "status index does not cover the registry"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
-            f"JobState(total={len(self._jobs)}, active={len(self.active_jobs())}, "
-            f"finished={len(self.finished_jobs())})"
+            f"JobState(total={len(self._jobs)}, active={self.count_active()}, "
+            f"finished={self.count_finished()})"
         )

@@ -73,7 +73,9 @@ class SimulatedLauncher(JobLauncher):
             mem_wanted = float(mem_per_gpu) * count
             cpu_granted = min(cpu_wanted, max(0.0, node.cpu_free))
             mem_granted = min(mem_wanted, max(0.0, node.mem_free))
-            node.allocate_aux(job.job_id, cpu_granted, mem_granted)
+            # Reserve through the cluster so the job->aux-node index stays in
+            # sync and release_job can free it without scanning every node.
+            cluster_state.reserve_aux(job.job_id, node_id, cpu_granted, mem_granted)
             total_cpu_granted += cpu_granted
 
         if throttle:

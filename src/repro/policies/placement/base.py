@@ -27,23 +27,32 @@ class AvailabilityView:
     The view starts from the GPUs that are currently free on healthy nodes plus
     the GPUs of jobs the policy has decided to suspend this round, and is
     consumed as the policy hands out allocations.
+
+    Construction reads the cluster's per-node free-GPU index directly
+    (:meth:`ClusterState.free_gpus_by_node`), so building the view costs
+    O(free GPUs) instead of a full rescan of every GPU row, and :meth:`take`
+    only touches the nodes it removes from.
     """
 
     def __init__(self, cluster_state: ClusterState, extra_gpu_ids: Sequence[int] = ()) -> None:
         self.cluster_state = cluster_state
-        self._free_by_node: Dict[int, List[GPU]] = {}
-        free = {g.gpu_id for g in cluster_state.free_gpus()}
-        free.update(extra_gpu_ids)
-        for gpu_id in free:
+        self._free_by_node: Dict[int, List[GPU]] = cluster_state.free_gpus_by_node()
+        self._total = sum(len(g) for g in self._free_by_node.values())
+        dirty = set()
+        for gpu_id in dict.fromkeys(extra_gpu_ids):
             gpu = cluster_state.gpu(gpu_id)
             if cluster_state.node(gpu.node_id).failed:
                 continue
+            if gpu.is_free:
+                continue  # already present via the free index
             self._free_by_node.setdefault(gpu.node_id, []).append(gpu)
-        for gpus in self._free_by_node.values():
-            gpus.sort(key=lambda g: g.local_gpu_id)
+            self._total += 1
+            dirty.add(gpu.node_id)
+        for node_id in dirty:
+            self._free_by_node[node_id].sort(key=lambda g: g.local_gpu_id)
 
     def total_free(self) -> int:
-        return sum(len(g) for g in self._free_by_node.values())
+        return self._total
 
     def node_ids(self) -> List[int]:
         return sorted(self._free_by_node)
@@ -62,10 +71,20 @@ class AvailabilityView:
         )
 
     def take(self, gpu_ids: Sequence[int]) -> None:
-        """Remove GPUs from the view after they have been handed to a job."""
-        taken = set(gpu_ids)
-        for node_id in list(self._free_by_node):
-            remaining = [g for g in self._free_by_node[node_id] if g.gpu_id not in taken]
+        """Remove GPUs from the view after they have been handed to a job.
+
+        Only the nodes hosting the taken GPUs are touched, so the cost is
+        O(taken + free on those nodes) rather than a rebuild of the whole view.
+        """
+        by_node: Dict[int, set] = {}
+        for gpu_id in gpu_ids:
+            by_node.setdefault(self.cluster_state.gpu(gpu_id).node_id, set()).add(gpu_id)
+        for node_id, taken in by_node.items():
+            gpus = self._free_by_node.get(node_id)
+            if gpus is None:
+                continue
+            remaining = [g for g in gpus if g.gpu_id not in taken]
+            self._total -= len(gpus) - len(remaining)
             if remaining:
                 self._free_by_node[node_id] = remaining
             else:
@@ -87,6 +106,12 @@ class BasePlacementPolicy(PlacementPolicy):
     """
 
     name = "base-placement"
+
+    #: The shared round logic keeps a running job's allocation untouched
+    #: whenever its demand is unchanged and capacity suffices, so the simulator
+    #: may skip placement calls during steady-state rounds (see
+    #: :class:`repro.simulator.engine.Simulator`).
+    steady_state_safe = True
 
     def place(
         self,

@@ -27,6 +27,13 @@ class FifoScheduling(SchedulingPolicy):
 
     name = "fifo"
 
+    #: Stateless gang policy: with every active job running on its requested
+    #: allocation, rescheduling is a no-op, so steady-state rounds may be
+    #: fast-forwarded (with backfilling, all running jobs always fit capacity;
+    #: with strict HOL blocking the running prefix still fits, so the loop
+    #: never breaks early on a running job).
+    steady_state_safe = True
+
     def __init__(self, hol_blocking: bool = False) -> None:
         self.hol_blocking = hol_blocking
 

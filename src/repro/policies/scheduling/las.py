@@ -22,6 +22,11 @@ class LasScheduling(SchedulingPolicy):
 
     name = "las"
 
+    #: Stateless gang policy: attained-service ordering never changes which
+    #: jobs run while every active job is already running, so steady-state
+    #: rounds may be fast-forwarded.
+    steady_state_safe = True
+
     def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
         ordered = sorted(
             job_state.runnable_jobs(),

@@ -20,6 +20,11 @@ class SrtfScheduling(SchedulingPolicy):
 
     name = "srtf"
 
+    #: Stateless gang policy: ordering by remaining work never changes which
+    #: jobs run while all active jobs are already running, so steady-state
+    #: rounds may be fast-forwarded.
+    steady_state_safe = True
+
     def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
         ordered = sorted(
             job_state.runnable_jobs(),

@@ -11,6 +11,7 @@ preemption mechanisms change.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -122,6 +123,8 @@ class Simulator:
         cluster_manager: Optional[ClusterManager] = None,
         tracked_job_ids: Optional[Sequence[int]] = None,
         max_rounds: int = 200_000,
+        fast_forward: bool = True,
+        job_state: Optional[JobState] = None,
     ) -> None:
         from repro.policies.admission.accept_all import AcceptAll
         from repro.policies.placement.consolidated import ConsolidatedPlacement
@@ -130,7 +133,7 @@ class Simulator:
             raise ConfigurationError("max_rounds must be >= 1")
 
         self.cluster_state = cluster_state
-        self.job_state = JobState()
+        self.job_state = job_state if job_state is not None else JobState()
         self.jobs = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
         if not self.jobs:
             raise ConfigurationError("cannot simulate an empty workload")
@@ -156,9 +159,39 @@ class Simulator:
         else:
             self.tracked_job_ids = list(tracked_job_ids)
 
+        # Event-skipping is only enabled when every composed policy declares it
+        # safe to skip its per-round calls while nothing can change.
+        self.fast_forward = (
+            bool(fast_forward)
+            and getattr(self.scheduling_policy, "supports_fast_forward", True)
+            and getattr(self.admission_policy, "supports_fast_forward", True)
+            and getattr(self.placement_policy, "supports_fast_forward", True)
+        )
+        # Skipping rounds *with running jobs* additionally requires that
+        # rescheduling an unchanged set of running gang jobs is a no-op.
+        self._steady_state_safe = (
+            getattr(self.scheduling_policy, "steady_state_safe", False)
+            and getattr(self.admission_policy, "steady_state_safe", False)
+            and getattr(self.placement_policy, "steady_state_safe", False)
+        )
+        # A ClusterManager subclass that overrides update() but not
+        # next_event_time() has per-round effects the simulator cannot predict;
+        # treating its inherited "no events ever" as truth would silently skip
+        # its events, so such managers disable event skipping entirely.
+        manager_cls = type(self.manager.cluster_manager)
+        if (
+            manager_cls.update is not ClusterManager.update
+            and manager_cls.next_event_time is ClusterManager.next_event_time
+        ):
+            self.fast_forward = False
+
     # ------------------------------------------------------------------
 
     def _tracked_all_finished(self) -> bool:
+        # Cheap necessary condition first: tracked finished jobs are a subset
+        # of all finished jobs, so the per-id scan can be skipped most rounds.
+        if self.job_state.count_finished() < len(self.tracked_job_ids):
+            return False
         for job_id in self.tracked_job_ids:
             if job_id in self.job_state:
                 if not self.job_state.get(job_id).is_finished:
@@ -171,20 +204,112 @@ class Simulator:
         """True when nothing can ever make progress again (guards against livelock)."""
         if not self.manager.all_arrived():
             return False
-        if self.job_state.active_jobs():
+        if self.job_state.count_active():
             return False
         if self.admission_policy.pending_jobs():
             return False
-        if self.job_state.waiting_admission_jobs():
+        if self.job_state.count_with_status(JobStatus.WAITING_ADMISSION):
             return False
         return True
+
+    def _round_record(self) -> RoundRecord:
+        mgr = self.manager
+        running = self.job_state.count_with_status(JobStatus.RUNNING)
+        return RoundRecord(
+            round_number=mgr.round_number,
+            time=mgr.current_time,
+            running_jobs=running,
+            queued_jobs=self.job_state.count_active() - running,
+            utilization=self.cluster_state.utilization(),
+            scheduler_name=getattr(self.scheduling_policy, "current_name", None)
+            or self.scheduling_policy.name,
+            admission_name=getattr(self.admission_policy, "current_name", None)
+            or self.admission_policy.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Event-skipping fast-forward
+    # ------------------------------------------------------------------
+
+    def _fast_forward(self, round_log: List[RoundRecord]) -> bool:
+        """Skip rounds during which no scheduling decision can change.
+
+        Called at the end of a full round, *before* ``advance_time``.  While no
+        arrival, cluster event, admission release or scheduling change can
+        occur, the only per-round work is advancing running jobs and logging --
+        so we run exactly those steps ("light rounds") and skip the cluster
+        update, admission, scheduling, placement and launch steps, which are
+        guaranteed no-ops.  Light rounds execute the same ``advance`` calls in
+        the same order as full rounds, so work/overhead accounting, completion
+        times, metric collection and the round log stay bit-identical to a run
+        with fast-forward disabled.
+
+        Returns ``True`` when every tracked job finished during the skip (the
+        caller must then stop exactly as the full loop would).
+        """
+        mgr = self.manager
+        job_state = self.job_state
+
+        # The admission pipeline must be quiescent: a policy whose accept([])
+        # has per-round side effects (steady_state_safe=False) can never be
+        # skipped, and otherwise nothing may be queued inside the policy or
+        # waiting for admission in the registry.
+        if not getattr(self.admission_policy, "steady_state_safe", True):
+            return False
+        if job_state.count_with_status(JobStatus.WAITING_ADMISSION):
+            return False
+        if self.admission_policy.pending_jobs():
+            return False
+
+        running = job_state.count_with_status(JobStatus.RUNNING)
+        active = job_state.count_active()
+        if active:
+            # Rounds with active jobs can only be skipped when rescheduling is
+            # provably a no-op: audited policies, every active job already
+            # running, and each holding exactly its requested gang.
+            if not self._steady_state_safe:
+                return False
+            if running != active:
+                return False
+            for job in job_state.running_jobs():
+                if len(job.allocated_gpus) != job.num_gpus:
+                    return False
+
+        # Nothing may fire before the next arrival or cluster event.
+        next_event = mgr.cluster_manager.next_event_time(mgr.current_time)
+        next_arrival = mgr.next_arrival_time()
+        bounds = [t for t in (next_event, next_arrival) if t is not None]
+        horizon = min(bounds) if bounds else math.inf
+
+        while (
+            mgr.round_number + 1 < self.max_rounds
+            and mgr.current_time + mgr.round_duration < horizon
+        ):
+            mgr.advance_time()
+            mgr.update_metrics(self.cluster_state, job_state)
+            released = mgr.prune_completed_jobs(self.cluster_state, job_state)
+            if self._tracked_all_finished():
+                return True
+            # Keep the sanctioned "now" side-channel fresh for collectors,
+            # mirroring the refresh the full loop does before its policy calls.
+            job_state.current_time = mgr.current_time
+            for collector in self.metric_collectors:
+                collector.collect(job_state, self.cluster_state, mgr.current_time)
+            round_log.append(self._round_record())
+            if released or job_state.count_with_status(JobStatus.RUNNING) != running:
+                # A completion changed the steady state; let the full loop
+                # take over again (its next rounds are no-ops for the policies
+                # but cheap, and they re-establish the skip conditions).
+                break
+        return False
 
     def run(self) -> SimulationResult:
         """Run the scheduling loop until every tracked job finished."""
         mgr = self.manager
         round_log: List[RoundRecord] = []
+        finished = False
 
-        for _ in range(self.max_rounds):
+        while mgr.round_number < self.max_rounds:
             # 1. Cluster membership changes (failures force a reschedule of jobs).
             affected = mgr.update_cluster(self.cluster_state)
             for job_id in affected:
@@ -198,6 +323,7 @@ class Simulator:
             mgr.prune_completed_jobs(self.cluster_state, self.job_state)
 
             if self._tracked_all_finished():
+                finished = True
                 break
 
             # 4. Admission of newly arrived jobs.
@@ -217,26 +343,20 @@ class Simulator:
             for collector in self.metric_collectors:
                 collector.collect(self.job_state, self.cluster_state, mgr.current_time)
 
-            round_log.append(
-                RoundRecord(
-                    round_number=mgr.round_number,
-                    time=mgr.current_time,
-                    running_jobs=len(self.job_state.running_jobs()),
-                    queued_jobs=len(self.job_state.active_jobs())
-                    - len(self.job_state.running_jobs()),
-                    utilization=self.cluster_state.utilization(),
-                    scheduler_name=getattr(self.scheduling_policy, "current_name", None)
-                    or self.scheduling_policy.name,
-                    admission_name=getattr(self.admission_policy, "current_name", None)
-                    or self.admission_policy.name,
-                )
-            )
+            round_log.append(self._round_record())
 
             if self._stalled():
+                finished = True
+                break
+
+            # 8. Event-skipping: jump over rounds in which nothing can change.
+            if self.fast_forward and self._fast_forward(round_log):
+                finished = True
                 break
 
             mgr.advance_time()
-        else:
+
+        if not finished:
             raise SimulationError(
                 f"simulation did not finish within {self.max_rounds} rounds; "
                 "the workload is likely too large for the cluster or a policy is starving jobs"

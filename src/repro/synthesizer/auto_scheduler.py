@@ -125,6 +125,12 @@ class AutoSchedulerSynthesizer(SchedulingPolicy, AdmissionPolicy):
 
     name = "auto-synthesizer"
 
+    #: The evaluation counter advances once per ``schedule`` call, so skipping
+    #: rounds would shift when policy switches happen; the simulator must run
+    #: every round when the synthesizer is in the loop.
+    supports_fast_forward = False
+    steady_state_safe = False
+
     def __init__(
         self,
         combinations: Sequence[PolicyCombination],

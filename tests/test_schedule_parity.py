@@ -1,0 +1,168 @@
+"""Schedule-parity regression tests for the event-skipping fast-forward.
+
+The fast-forward must be a pure performance feature: one seeded workload run
+through FIFO + consolidated placement with the flag off and on must produce
+identical per-job completion times and identical round logs.  A second test
+proves the same against the seed-cost legacy implementations (full-scan state,
+every round executed), which is the pre-refactor baseline the benchmark
+compares against.
+"""
+
+import pytest
+
+from repro.bench.legacy import LegacySimulator
+from repro.cluster.builder import build_cluster
+from repro.policies.placement.consolidated import ConsolidatedPlacement
+from repro.policies.scheduling.fifo import FifoScheduling
+from repro.policies.scheduling.srtf import SrtfScheduling
+from repro.simulator.engine import Simulator
+from repro.workloads.philly import generate_philly_trace
+
+
+def run(trace, simulator_cls=Simulator, scheduling_factory=FifoScheduling, **kwargs):
+    sim = simulator_cls(
+        cluster_state=build_cluster(num_nodes=4, gpus_per_node=4),
+        jobs=trace.fresh_jobs(),
+        scheduling_policy=scheduling_factory(),
+        placement_policy=ConsolidatedPlacement(),
+        **kwargs,
+    )
+    return sim.run()
+
+
+def assert_identical(first, second):
+    assert first.rounds == second.rounds
+    first_completions = {j.job_id: j.completion_time for j in first.jobs}
+    second_completions = {j.job_id: j.completion_time for j in second.jobs}
+    assert first_completions == second_completions
+    assert first.round_log == second.round_log
+    assert first.end_time == second.end_time
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_philly_trace(num_jobs=40, jobs_per_hour=5.0, seed=99)
+
+
+def test_fast_forward_flag_preserves_schedule(trace):
+    with_skip = run(trace, fast_forward=True)
+    without_skip = run(trace, fast_forward=False)
+    assert_identical(without_skip, with_skip)
+    assert len(with_skip.finished_jobs()) == 40
+
+
+def test_fast_forward_matches_legacy_baseline(trace):
+    """The indexed, event-skipping core replays the seed's schedule exactly."""
+    legacy = run(trace, simulator_cls=LegacySimulator)
+    indexed = run(trace, fast_forward=True)
+    assert_identical(legacy, indexed)
+
+
+def test_fast_forward_parity_under_srtf(trace):
+    """SRTF opts into steady-state skipping; parity must hold there too."""
+    with_skip = run(trace, scheduling_factory=SrtfScheduling, fast_forward=True)
+    without_skip = run(trace, scheduling_factory=SrtfScheduling, fast_forward=False)
+    assert_identical(without_skip, with_skip)
+
+
+def test_fast_forward_disabled_for_unsafe_policies(trace):
+    """Policies that opt out must force every round to execute."""
+    from repro.policies.admission.accept_all import AcceptAll
+    from repro.synthesizer.auto_scheduler import AutoSchedulerSynthesizer
+
+    synth = AutoSchedulerSynthesizer.from_grid(
+        [("fifo", FifoScheduling)], [("all", AcceptAll)], evaluate_every=10, horizon_rounds=4
+    )
+    sim = Simulator(
+        cluster_state=build_cluster(num_nodes=4, gpus_per_node=4),
+        jobs=trace.fresh_jobs(),
+        scheduling_policy=synth,
+        admission_policy=synth,
+        fast_forward=True,
+    )
+    assert sim.fast_forward is False
+
+
+def test_unmigrated_cluster_manager_disables_fast_forward(trace):
+    """A manager overriding update() but not next_event_time cannot be skipped."""
+    from repro.core.abstractions import ClusterManager
+
+    class Sneaky(ClusterManager):
+        def update(self, cluster_state, current_time):
+            return []
+
+    sim = Simulator(
+        cluster_state=build_cluster(num_nodes=4, gpus_per_node=4),
+        jobs=trace.fresh_jobs(),
+        scheduling_policy=FifoScheduling(),
+        cluster_manager=Sneaky(),
+        fast_forward=True,
+    )
+    assert sim.fast_forward is False
+
+    class Migrated(Sneaky):
+        def next_event_time(self, current_time):
+            return None
+
+    sim = Simulator(
+        cluster_state=build_cluster(num_nodes=4, gpus_per_node=4),
+        jobs=trace.fresh_jobs(),
+        scheduling_policy=FifoScheduling(),
+        cluster_manager=Migrated(),
+        fast_forward=True,
+    )
+    assert sim.fast_forward is True
+
+
+def test_admission_with_per_round_side_effects_is_never_skipped(trace):
+    """steady_state_safe=False on an admission policy must disable all skipping,
+    including during fully idle stretches (the documented opt-out contract)."""
+    from repro.policies.admission.accept_all import AcceptAll
+
+    class CountingAdmission(AcceptAll):
+        steady_state_safe = False
+
+        def __init__(self):
+            super().__init__()
+            self.calls = 0
+
+        def accept(self, new_jobs, cluster_state, job_state):
+            self.calls += 1
+            return super().accept(new_jobs, cluster_state, job_state)
+
+    with_skip_policy = CountingAdmission()
+    with_skip = run(trace, admission_policy=with_skip_policy, fast_forward=True)
+    without_skip_policy = CountingAdmission()
+    without_skip = run(trace, admission_policy=without_skip_policy, fast_forward=False)
+    assert_identical(without_skip, with_skip)
+    assert with_skip_policy.calls == without_skip_policy.calls
+
+
+def test_fast_forward_parity_with_scheduled_cluster_events(trace):
+    """Event skipping must stop exactly at failures/recoveries a manager schedules."""
+    from repro.core.abstractions import ClusterManager
+
+    class OneFailure(ClusterManager):
+        def __init__(self):
+            self.failed = False
+            self.recovered = False
+
+        def update(self, cluster_state, current_time):
+            if not self.failed and current_time >= 50_000:
+                self.failed = True
+                return cluster_state.mark_node_failed(2)
+            if not self.recovered and current_time >= 150_000:
+                self.recovered = True
+                cluster_state.mark_node_recovered(2)
+            return []
+
+        def next_event_time(self, current_time):
+            if not self.failed:
+                return 50_000.0
+            if not self.recovered:
+                return 150_000.0
+            return None
+
+    with_skip = run(trace, cluster_manager=OneFailure(), fast_forward=True)
+    without_skip = run(trace, cluster_manager=OneFailure(), fast_forward=False)
+    assert_identical(without_skip, with_skip)
