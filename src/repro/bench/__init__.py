@@ -1,14 +1,23 @@
-"""Performance benchmarks for the scheduler core.
+"""Performance benchmarks for the scheduler core and policy layer.
 
-``python -m repro.bench`` runs the core benchmark: one seeded 256-GPU
-Philly-style workload simulated twice -- once on the pre-refactor ("legacy")
-code paths (full-scan state queries, no event skipping) and once on the
-indexed, event-skipping core -- and writes ``BENCH_core.json`` with rounds/sec
-and end-to-end wall time for both, plus a schedule-parity verdict proving the
-two runs made identical scheduling decisions.  The JSON is committed so the
-perf trajectory is measurable PR over PR.
+``python -m repro.bench`` runs two benchmarks over the seeded 256-GPU
+Philly-style workload and writes ``BENCH_core.json``:
+
+* the **core** benchmark: the workload simulated on the pre-refactor
+  ("legacy") state layer (full-scan queries, no event skipping) and on the
+  indexed, event-skipping core;
+* the **policy matrix**: each scheduling policy (fifo, srtf, las, tiresias,
+  gavel, pollux) x placement cell simulated with its pre-refactor
+  implementation (on the pre-refactor engine cost model) and with the current
+  incremental implementation.
+
+Every comparison carries a schedule-parity verdict proving the paired runs
+made identical scheduling decisions, so the reported speedups are pure
+hot-path work.  The JSON is committed so the perf trajectory is measurable PR
+over PR.
 """
 
 from repro.bench.core_bench import run_core_bench
+from repro.bench.policy_bench import run_policy_bench
 
-__all__ = ["run_core_bench"]
+__all__ = ["run_core_bench", "run_policy_bench"]

@@ -24,9 +24,16 @@ def main(argv=None) -> int:
         default="BENCH_core.json",
         help="output JSON path (default: BENCH_core.json); '-' to skip writing",
     )
+    parser.add_argument(
+        "--no-policies",
+        action="store_true",
+        help="skip the scheduling-policy x placement benchmark matrix",
+    )
     args = parser.parse_args(argv)
     out_path = None if args.out == "-" else args.out
-    report = run_core_bench(smoke=args.smoke, out_path=out_path)
+    report = run_core_bench(
+        smoke=args.smoke, out_path=out_path, policies=not args.no_policies
+    )
     json.dump(report, sys.stdout, indent=2)
     print()
     return 0

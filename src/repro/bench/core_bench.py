@@ -65,8 +65,20 @@ def _parity(baseline: SimulationResult, indexed: SimulationResult) -> Dict[str, 
     }
 
 
-def run_core_bench(smoke: bool = False, out_path: Optional[str] = "BENCH_core.json") -> Dict[str, object]:
-    """Run baseline + indexed benchmark, verify parity, write the JSON report."""
+def run_core_bench(
+    smoke: bool = False,
+    out_path: Optional[str] = "BENCH_core.json",
+    policies: bool = True,
+) -> Dict[str, object]:
+    """Run baseline + indexed benchmark, verify parity, write the JSON report.
+
+    With ``policies=True`` (the default) the report also carries the
+    policy x placement matrix of :mod:`repro.bench.policy_bench`, comparing
+    each incremental scheduling policy against its pre-refactor
+    implementation.
+    """
+    from repro.bench.policy_bench import run_policy_bench
+
     scale = "smoke" if smoke else "full"
     total_gpus = (workload.SMOKE_NODES if smoke else workload.FULL_NODES) * workload.GPUS_PER_NODE
     baseline = _run_case(indexed=False, smoke=smoke)
@@ -116,6 +128,9 @@ def run_core_bench(smoke: bool = False, out_path: Optional[str] = "BENCH_core.js
     )
     report["schedule_parity"] = schedule_parity
 
+    if policies:
+        report["policies"] = run_policy_bench(smoke=smoke)
+
     if out_path:
         with open(out_path, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=False)
@@ -124,5 +139,16 @@ def run_core_bench(smoke: bool = False, out_path: Optional[str] = "BENCH_core.js
     if not schedule_parity:
         raise AssertionError(
             f"baseline and indexed runs diverged: {parity}"
+        )
+    if policies and not report["policies"]["all_schedule_parity"]:
+        raise AssertionError(
+            "a policy benchmark cell diverged from its pre-refactor baseline: "
+            + str(
+                {
+                    name: cell
+                    for name, cell in report["policies"]["cells"].items()
+                    if not cell["schedule_parity"]
+                }
+            )
         )
     return report

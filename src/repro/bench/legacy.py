@@ -16,18 +16,32 @@ benchmark can report an honest before/after comparison from a single build:
 
 The scheduling *decisions* are identical either way -- the benchmark asserts
 this -- only the bookkeeping costs differ.
+
+The ``Legacy*Scheduling`` classes below likewise preserve the *policy-layer*
+hot path as it stood before the incremental policy refactor: full re-sorts of
+the runnable set every round, Pollux's O(capacity x jobs) water-filling scan,
+Gavel's per-job rebuild of the cluster GPU-type set, Tiresias' comparator
+side effect, and the pre-refactor fast-forward opt-outs
+(``steady_state_safe = False`` on tiresias/gavel, no ``next_policy_event_time``
+bounds anywhere).  The policy benchmark matrix
+(:mod:`repro.bench.policy_bench`) runs them against the incremental
+implementations on identical workloads and asserts schedule parity cell by
+cell.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
+from repro.cluster.gpu_types import GPU_TYPES
 from repro.cluster.node import GPU
+from repro.core.abstractions import ScheduleEntry, SchedulingPolicy
 from repro.core.blox_manager import BloxManager
 from repro.core.cluster_state import ClusterState, gpu_type_key
-from repro.core.exceptions import UnknownNodeError
+from repro.core.exceptions import ConfigurationError, UnknownNodeError
 from repro.core.job import Job, JobStatus
 from repro.core.job_state import JobState
+from repro.policies.scheduling.tiresias import DEFAULT_QUEUE_THRESHOLDS
 from repro.simulator.engine import Simulator
 
 
@@ -126,6 +140,307 @@ class LegacyBloxManager(BloxManager):
             cluster_state.release_job(job.job_id)
             job.allocated_gpus = []
         return finished_holding_gpus
+
+
+# ----------------------------------------------------------------------
+# Pre-refactor scheduling policies (the policy-layer benchmark baselines)
+# ----------------------------------------------------------------------
+
+
+class LegacyFifoScheduling(SchedulingPolicy):
+    """Seed FIFO: full re-sort of the runnable set every round."""
+
+    name = "fifo"
+    steady_state_safe = True
+
+    def __init__(self, hol_blocking: bool = False) -> None:
+        self.hol_blocking = hol_blocking
+
+    def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
+        ordered = sorted(job_state.runnable_jobs(), key=lambda j: (j.arrival_time, j.job_id))
+        if not self.hol_blocking:
+            return [ScheduleEntry(job_id=j.job_id, gpu_demand=j.num_gpus) for j in ordered]
+        capacity = sum(
+            node.num_gpus for node in cluster_state.nodes.values() if not node.failed
+        )
+        entries: List[ScheduleEntry] = []
+        remaining = capacity
+        for job in ordered:
+            if job.num_gpus > remaining:
+                break
+            entries.append(ScheduleEntry(job_id=job.job_id, gpu_demand=job.num_gpus))
+            remaining -= job.num_gpus
+        return entries
+
+
+class LegacySrtfScheduling(SchedulingPolicy):
+    """Seed SRTF: full re-sort of the runnable set every round."""
+
+    name = "srtf"
+    steady_state_safe = True
+
+    def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
+        ordered = sorted(
+            job_state.runnable_jobs(),
+            key=lambda j: (j.remaining_work, j.arrival_time, j.job_id),
+        )
+        return [ScheduleEntry(job_id=j.job_id, gpu_demand=j.num_gpus) for j in ordered]
+
+
+class LegacyLasScheduling(SchedulingPolicy):
+    """Seed LAS: full re-sort of the runnable set every round."""
+
+    name = "las"
+    steady_state_safe = True
+
+    def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
+        ordered = sorted(
+            job_state.runnable_jobs(),
+            key=lambda j: (j.attained_service, j.arrival_time, j.job_id),
+        )
+        return [ScheduleEntry(job_id=j.job_id, gpu_demand=j.num_gpus) for j in ordered]
+
+
+class LegacyTiresiasScheduling(SchedulingPolicy):
+    """Seed Tiresias: impure comparator, full re-sort, no event bounds."""
+
+    name = "tiresias"
+    steady_state_safe = False  # pre-refactor: comparator side effect per round
+
+    def __init__(
+        self,
+        queue_thresholds: Sequence[float] = DEFAULT_QUEUE_THRESHOLDS,
+        starvation_promote_after: float = float("inf"),
+    ) -> None:
+        thresholds = list(queue_thresholds)
+        if any(t <= 0 for t in thresholds):
+            raise ConfigurationError("queue thresholds must be positive")
+        if thresholds != sorted(thresholds):
+            raise ConfigurationError("queue thresholds must be increasing")
+        self.queue_thresholds = thresholds
+        self.starvation_promote_after = starvation_promote_after
+        self._last_run_time: Dict[int, float] = {}
+
+    def queue_index(self, job: Job) -> int:
+        for index, threshold in enumerate(self.queue_thresholds):
+            if job.attained_service < threshold:
+                return index
+        return len(self.queue_thresholds)
+
+    def _effective_queue(self, job: Job, now: float) -> int:
+        if job.status == JobStatus.RUNNING:
+            self._last_run_time[job.job_id] = now
+        waited = now - self._last_run_time.get(job.job_id, job.arrival_time)
+        if waited >= self.starvation_promote_after:
+            return 0
+        return self.queue_index(job)
+
+    def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
+        now = getattr(job_state, "current_time", 0.0)
+        ordered = sorted(
+            job_state.runnable_jobs(),
+            key=lambda j: (self._effective_queue(j, now), j.arrival_time, j.job_id),
+        )
+        return [ScheduleEntry(job_id=j.job_id, gpu_demand=j.num_gpus) for j in ordered]
+
+
+class LegacyGavelScheduling(SchedulingPolicy):
+    """Seed Gavel: rebuilds the cluster GPU-type set per job per round."""
+
+    name = "gavel"
+    steady_state_safe = False  # pre-refactor: schedule() mutated job metrics
+
+    @staticmethod
+    def job_throughput_on(job: Job, gpu_type_name: str) -> float:
+        if gpu_type_name in job.per_gpu_throughput:
+            return max(1e-9, float(job.per_gpu_throughput[gpu_type_name]))
+        gpu_type = GPU_TYPES.get(gpu_type_name)
+        return gpu_type.compute_factor if gpu_type is not None else 1.0
+
+    def best_gpu_type(self, job: Job, cluster_state: ClusterState) -> Optional[str]:
+        present = {
+            node.gpu_type_name for node in cluster_state.nodes.values() if not node.failed
+        }
+        if not present:
+            return None
+        return max(present, key=lambda t: self.job_throughput_on(job, t))
+
+    def normalised_service(self, job: Job, cluster_state: ClusterState) -> float:
+        gpus = cluster_state.gpus_for_job(job.job_id)
+        if gpus:
+            type_name = gpus[0].gpu_type.name
+        else:
+            type_name = self.best_gpu_type(job, cluster_state) or "v100"
+        return job.attained_service * self.job_throughput_on(job, type_name)
+
+    def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
+        jobs = job_state.runnable_jobs()
+        ordered = sorted(
+            jobs,
+            key=lambda j: (self.normalised_service(j, cluster_state), j.arrival_time, j.job_id),
+        )
+        entries = []
+        for job in ordered:
+            preferred = self.best_gpu_type(job, cluster_state)
+            job.metrics["preferred_gpu_type"] = preferred
+            entries.append(
+                ScheduleEntry(job_id=job.job_id, gpu_demand=job.num_gpus, gpu_type=preferred)
+            )
+        return entries
+
+
+class LegacyPolluxScheduling(SchedulingPolicy):
+    """Seed Pollux: O(capacity x jobs) greedy water-filling scan, no memoization."""
+
+    name = "pollux"
+
+    def __init__(self, efficiency_decay: float = 0.03, restart_penalty: float = 0.05) -> None:
+        if efficiency_decay < 0:
+            raise ConfigurationError("efficiency_decay must be >= 0")
+        if restart_penalty < 0:
+            raise ConfigurationError("restart_penalty must be >= 0")
+        self.efficiency_decay = efficiency_decay
+        self.restart_penalty = restart_penalty
+
+    def statistical_efficiency(self, job: Job, num_gpus: int) -> float:
+        extra = max(0, num_gpus - 1)
+        scale_limit = max(1, job.max_batch_scale)
+        overscale = max(0, num_gpus - scale_limit)
+        return 1.0 / (1.0 + self.efficiency_decay * extra + 0.5 * overscale)
+
+    def goodput(self, job: Job, num_gpus: int) -> float:
+        if num_gpus <= 0:
+            return 0.0
+        return job.scaling.speedup(num_gpus) * self.statistical_efficiency(job, num_gpus)
+
+    def marginal_goodput(self, job: Job, num_gpus: int) -> float:
+        cap = min(job.scaling.max_useful_gpus, job.num_gpus * max(1, job.max_batch_scale))
+        if num_gpus >= cap:
+            return 0.0
+        gain = self.goodput(job, num_gpus + 1) - self.goodput(job, num_gpus)
+        if num_gpus == 0 and job.status != JobStatus.RUNNING:
+            gain -= self.restart_penalty
+        return gain
+
+    def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
+        jobs = job_state.runnable_jobs()
+        if not jobs:
+            return []
+        capacity = sum(
+            node.num_gpus for node in cluster_state.nodes.values() if not node.failed
+        )
+
+        running = [j for j in jobs if j.status == JobStatus.RUNNING]
+        waiting = sorted(
+            (j for j in jobs if j.status != JobStatus.RUNNING),
+            key=lambda j: (j.arrival_time, j.job_id),
+        )
+
+        allocation: Dict[int, int] = {j.job_id: 0 for j in jobs}
+        by_id = {j.job_id: j for j in jobs}
+
+        remaining = capacity
+        for job in sorted(running, key=lambda j: (j.arrival_time, j.job_id)):
+            if remaining <= 0:
+                break
+            allocation[job.job_id] = 1
+            remaining -= 1
+
+        while remaining > 0:
+            best_id = None
+            best_gain = 1e-12
+            for job_id, gpus in allocation.items():
+                gain = self.marginal_goodput(by_id[job_id], gpus)
+                if gain > best_gain:
+                    best_gain = gain
+                    best_id = job_id
+            if best_id is None:
+                break
+            allocation[best_id] += 1
+            remaining -= 1
+
+        ordered = sorted(running, key=lambda j: (j.arrival_time, j.job_id)) + waiting
+        return [
+            ScheduleEntry(job_id=j.job_id, gpu_demand=allocation[j.job_id])
+            for j in ordered
+            if allocation[j.job_id] > 0
+        ]
+
+
+class PrePolicyRefactorJobState(JobState):
+    """Job registry with the pre-policy-refactor view costs.
+
+    Identical indexes to the current :class:`JobState`, but every view sorts
+    its id-set on each call -- the cost the status-indexed registry had before
+    this PR added the memoized sorted views.
+    """
+
+    def jobs_with_status(self, *statuses: JobStatus) -> List[Job]:
+        ids: List[int] = []
+        for status in dict.fromkeys(statuses):
+            ids.extend(self._by_status[status])
+        return [self._jobs[i] for i in sorted(ids)]
+
+
+class PrePolicyRefactorBloxManager(BloxManager):
+    """Manager with the pre-policy-refactor costs: per-round prune scans (no
+    O(1) early-out) and the double-sort lease-renewal check in exec_jobs."""
+
+    def prune_completed_jobs(self, cluster_state, job_state):
+        finished_holding_gpus = [
+            job_state.get(job_id)
+            for job_id in cluster_state.jobs_with_allocations()
+            if job_id in job_state and job_state.get(job_id).is_finished
+        ]
+        for job in finished_holding_gpus:
+            cluster_state.release_job(job.job_id)
+            job.allocated_gpus = []
+        return finished_holding_gpus
+
+    def exec_jobs(self, decision, cluster_state, job_state):
+        for job_id in decision.to_suspend:
+            job = job_state.get(job_id)
+            self.preemptor.preempt(job, cluster_state, self.current_time)
+        for job_id in sorted(decision.to_launch):
+            gpu_ids = decision.to_launch[job_id]
+            job = job_state.get(job_id)
+            if job.is_finished:
+                continue
+            if job.status == JobStatus.RUNNING and sorted(gpu_ids) == sorted(job.allocated_gpus):
+                continue
+            if job.status == JobStatus.RUNNING:
+                self.preemptor.preempt(job, cluster_state, self.current_time)
+            self.launcher.launch(job, gpu_ids, cluster_state, self.current_time)
+
+
+class LegacyPolicySimulator(Simulator):
+    """The scheduling loop as it stood before the incremental policy refactor.
+
+    The policy-layer benchmark baseline: indexed state (the previous PR's
+    refactor is kept) but none of this PR's hot-path machinery --
+
+    * no steady-mode strides or chained drain skipping (classic per-round
+      light loops only; decision-stable skipping never triggers because the
+      legacy policies define no ``next_policy_event_time`` bound);
+    * per-round effective-rate recomputation (no version-stamped rate cache);
+    * per-call view sorting in ``JobState`` and per-round prune scans.
+
+    Combined with the ``Legacy*Scheduling`` policies above this reproduces the
+    pre-PR cost model from a single build, the same way
+    :class:`LegacyClusterState` reproduces the seed's.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        kwargs.setdefault("job_state", PrePolicyRefactorJobState())
+        super().__init__(*args, **kwargs)
+        self.execution_model._rates_cacheable = False
+        self._stride_accelerable = False
+        self.manager = PrePolicyRefactorBloxManager(
+            trace_jobs=self.jobs,
+            round_duration=self.manager.round_duration,
+            execution_model=self.execution_model,
+            cluster_manager=self.manager.cluster_manager,
+        )
 
 
 class LegacySimulator(Simulator):

@@ -1,0 +1,172 @@
+"""The policy-layer benchmark: incremental policies vs. their pre-PR selves.
+
+Runs a scheduling-policy x placement matrix over the seeded 256-GPU
+Philly-style workload (:mod:`repro.bench.workload`).  Each cell simulates the
+same trace twice:
+
+* **baseline** -- the pre-refactor policy implementation
+  (:mod:`repro.bench.legacy`: full re-sorts, Pollux's O(capacity x jobs)
+  scan, Gavel's per-job type-set rebuild, Tiresias' impure comparator) on
+  :class:`~repro.bench.legacy.LegacyPolicySimulator`, which reproduces the
+  pre-refactor engine cost model (classic per-round light loops only, no
+  steady-mode strides, no rate/view caching);
+* **current** -- the incremental policy on the current
+  :class:`~repro.simulator.engine.Simulator` with event-aware fast-forward.
+
+Both runs must produce identical per-job completion times and round logs
+(``schedule_parity``), so per-cell speedups are pure hot-path work, not
+behaviour changes.  Wall times take the best of ``repeats`` runs to damp
+scheduler noise; the parity verdict comes from the first pair.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench import workload
+from repro.bench.legacy import (
+    LegacyFifoScheduling,
+    LegacyGavelScheduling,
+    LegacyLasScheduling,
+    LegacyPolicySimulator,
+    LegacyPolluxScheduling,
+    LegacySrtfScheduling,
+    LegacyTiresiasScheduling,
+)
+from repro.policies.placement.consolidated import ConsolidatedPlacement
+from repro.policies.placement.first_free import FirstFreePlacement
+from repro.policies.scheduling import (
+    FifoScheduling,
+    GavelScheduling,
+    LasScheduling,
+    PolluxScheduling,
+    SrtfScheduling,
+    TiresiasScheduling,
+)
+from repro.simulator.engine import SimulationResult, Simulator
+
+#: policy name -> (incremental factory, pre-refactor factory)
+POLICY_FACTORIES = {
+    "fifo": (FifoScheduling, LegacyFifoScheduling),
+    "srtf": (SrtfScheduling, LegacySrtfScheduling),
+    "las": (LasScheduling, LegacyLasScheduling),
+    "tiresias": (TiresiasScheduling, LegacyTiresiasScheduling),
+    "gavel": (GavelScheduling, LegacyGavelScheduling),
+    "pollux": (PolluxScheduling, LegacyPolluxScheduling),
+}
+
+PLACEMENT_FACTORIES = {
+    "consolidated": ConsolidatedPlacement,
+    "first-free": FirstFreePlacement,
+}
+
+#: (policy, placement) cells of the full matrix: every policy against the
+#: default placement of the paper's comparisons, plus a second placement for
+#: one gang and one discretised policy to exercise the placement dimension.
+FULL_MATRIX: Tuple[Tuple[str, str], ...] = (
+    ("fifo", "consolidated"),
+    ("srtf", "consolidated"),
+    ("las", "consolidated"),
+    ("tiresias", "consolidated"),
+    ("gavel", "consolidated"),
+    ("pollux", "consolidated"),
+    ("fifo", "first-free"),
+    ("tiresias", "first-free"),
+)
+
+#: CI configuration: one control cell plus the two headline elastic cells, so
+#: a policy-layer regression (perf machinery or schedule change) fails CI.
+SMOKE_MATRIX: Tuple[Tuple[str, str], ...] = (
+    ("fifo", "consolidated"),
+    ("tiresias", "consolidated"),
+    ("pollux", "consolidated"),
+)
+
+
+def _run_cell_case(
+    policy_factory, placement_factory, simulator_cls, smoke: bool
+) -> Tuple[SimulationResult, float]:
+    trace = workload.bench_trace(smoke=smoke)
+    simulator = simulator_cls(
+        cluster_state=workload.bench_cluster(smoke=smoke),
+        jobs=trace.fresh_jobs(),
+        scheduling_policy=policy_factory(),
+        placement_policy=placement_factory(),
+        round_duration=workload.ROUND_DURATION,
+    )
+    start = time.perf_counter()
+    result = simulator.run()
+    return result, time.perf_counter() - start
+
+
+def _cell_parity(baseline: SimulationResult, current: SimulationResult) -> bool:
+    base_completions = {j.job_id: j.completion_time for j in baseline.jobs}
+    new_completions = {j.job_id: j.completion_time for j in current.jobs}
+    return (
+        base_completions == new_completions
+        and baseline.round_log == current.round_log
+        and baseline.rounds == current.rounds
+    )
+
+
+def run_policy_bench(
+    smoke: bool = False,
+    repeats: Optional[int] = None,
+    matrix: Optional[Tuple[Tuple[str, str], ...]] = None,
+) -> Dict[str, object]:
+    """Run the policy x placement matrix; returns the per-cell report dict."""
+    if matrix is None:
+        matrix = SMOKE_MATRIX if smoke else FULL_MATRIX
+    if repeats is None:
+        repeats = 1 if smoke else 3
+
+    cells: Dict[str, object] = {}
+    all_parity = True
+    for policy_name, placement_name in matrix:
+        current_factory, legacy_factory = POLICY_FACTORIES[policy_name]
+        placement_factory = PLACEMENT_FACTORIES[placement_name]
+
+        current_walls: List[float] = []
+        baseline_walls: List[float] = []
+        current_result = baseline_result = None
+        for _ in range(repeats):
+            result, wall = _run_cell_case(
+                current_factory, placement_factory, Simulator, smoke
+            )
+            if current_result is None:
+                current_result = result
+            current_walls.append(wall)
+            result, wall = _run_cell_case(
+                legacy_factory, placement_factory, LegacyPolicySimulator, smoke
+            )
+            if baseline_result is None:
+                baseline_result = result
+            baseline_walls.append(wall)
+
+        parity = _cell_parity(baseline_result, current_result)
+        all_parity = all_parity and parity
+        wall_new = min(current_walls)
+        wall_old = min(baseline_walls)
+        rps_new = current_result.rounds / wall_new if wall_new > 0 else float("inf")
+        rps_old = baseline_result.rounds / wall_old if wall_old > 0 else float("inf")
+        cells[f"{policy_name}/{placement_name}"] = {
+            "policy": policy_name,
+            "placement": placement_name,
+            "schedule_parity": parity,
+            "rounds": current_result.rounds,
+            "baseline_wall_time_s": round(wall_old, 4),
+            "current_wall_time_s": round(wall_new, 4),
+            "baseline_rounds_per_sec": round(rps_old, 1),
+            "current_rounds_per_sec": round(rps_new, 1),
+            "speedup_rounds_per_sec": round(rps_new / rps_old, 2) if rps_old else None,
+            "finished_jobs": len(current_result.finished_jobs()),
+            "avg_jct_s": round(current_result.avg_jct(), 2),
+        }
+
+    return {
+        "matrix": [f"{p}/{pl}" for p, pl in matrix],
+        "repeats": repeats,
+        "all_schedule_parity": all_parity,
+        "cells": cells,
+    }

@@ -25,7 +25,21 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.cluster_state import ClusterState
 from repro.core.job import Job
-from repro.core.job_state import JobState
+from repro.core.job_state import JobState, JobStateObserver
+
+__all__ = [
+    "AdmissionPolicy",
+    "ClusterManager",
+    "JobLauncher",
+    "JobStateObserver",
+    "MetricCollector",
+    "PlacementDecision",
+    "PlacementPolicy",
+    "PreemptionMechanism",
+    "ScheduleEntry",
+    "SchedulingPolicy",
+    "TerminationPolicy",
+]
 
 
 @dataclass(frozen=True)
@@ -118,6 +132,35 @@ class SchedulingPolicy:
 
     def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
         raise NotImplementedError
+
+    def next_policy_event_time(
+        self,
+        job_state: JobState,
+        cluster_state: ClusterState,
+        now: float,
+    ) -> Optional[float]:
+        """Earliest future time at which this policy's decision may change.
+
+        The contract: assuming no *external* event occurs in the meantime --
+        no arrival, completion, admission release or cluster membership change
+        -- the policy guarantees that every ``schedule()`` call at a time
+        strictly before the returned value produces exactly the list it
+        produced this round.  The simulator uses this (together with the
+        observation that applying an unchanged schedule to unchanged state is
+        a no-op) to fast-forward elastic and discretised policies through
+        event-free stretches; see
+        :meth:`repro.simulator.engine.Simulator._fast_forward`.
+
+        Returning ``now`` (the default) declares "my decision may change any
+        round", which disables decision-stable skipping for this policy.
+        ``None`` means "never, absent external events" (policies whose
+        decision is a pure function of the job set, statuses, profiles and
+        allocations -- FIFO, Pollux).  Discretised policies return their next
+        internal event: Tiresias' queue-demotion crossings and
+        starvation-promotion deadlines are computable in closed form from
+        attained service and the thresholds.
+        """
+        return now
 
 
 class PlacementPolicy:

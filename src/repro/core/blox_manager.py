@@ -23,6 +23,20 @@ from repro.core.mechanisms import SimulatedLauncher, SimulatedPreemption
 from repro.simulator.execution import ExecutionModel
 
 
+def is_lease_renewal(job: Job, gpu_ids) -> bool:
+    """Whether (re)launching ``job`` on ``gpu_ids`` would change nothing.
+
+    Relies on ``job.allocated_gpus`` being maintained sorted (the launcher
+    sorts it; preemption and pruning clear it), and on kept allocations being
+    handed around as copies of that list, so the plain equality almost always
+    decides without sorting.  Shared by :meth:`BloxManager.exec_jobs` and the
+    simulator's no-op-decision witness so the two can never disagree.
+    """
+    return job.status == JobStatus.RUNNING and (
+        gpu_ids == job.allocated_gpus or sorted(gpu_ids) == job.allocated_gpus
+    )
+
+
 class BloxManager:
     """Drives simulated time and applies scheduling decisions to shared state."""
 
@@ -51,6 +65,9 @@ class BloxManager:
             sorted(trace_jobs, key=lambda j: (j.arrival_time, j.job_id))
         )
         self.terminate = False
+        #: Finished-job count at the last prune; lets prune_completed_jobs
+        #: early-out in O(1) on the (common) rounds where nothing finished.
+        self._pruned_finished_count = 0
 
     # ------------------------------------------------------------------
     # Loop steps (names follow Figure 2 in the paper)
@@ -74,13 +91,21 @@ class BloxManager:
         """Release resources held by jobs that finished during the last round.
 
         Walks the cluster's job->GPU index (jobs currently holding GPUs are the
-        only candidates) instead of re-scanning every finished job each round.
+        only candidates) instead of re-scanning every finished job each round,
+        and skips even that walk when the finished count has not moved since
+        the previous prune (no newly finished job can be holding GPUs then).
         """
-        finished_holding_gpus = [
-            job_state.get(job_id)
-            for job_id in cluster_state.jobs_with_allocations()
-            if job_id in job_state and job_state.get(job_id).is_finished
-        ]
+        finished_count = job_state.count_finished()
+        if finished_count == self._pruned_finished_count:
+            return []
+        self._pruned_finished_count = finished_count
+        finished_holding_gpus = []
+        for job_id in cluster_state.jobs_with_allocations():
+            if job_id not in job_state:
+                continue
+            job = job_state.get(job_id)
+            if job.is_finished:
+                finished_holding_gpus.append(job)
         for job in finished_holding_gpus:
             cluster_state.release_job(job.job_id)
             job.allocated_gpus = []
@@ -114,7 +139,7 @@ class BloxManager:
             job = job_state.get(job_id)
             if job.is_finished:
                 continue
-            if job.status == JobStatus.RUNNING and sorted(gpu_ids) == sorted(job.allocated_gpus):
+            if is_lease_renewal(job, gpu_ids):
                 continue  # lease renewed, nothing to do
             if job.status == JobStatus.RUNNING:
                 # Placement changed without an explicit suspend: treat as a move.

@@ -50,6 +50,14 @@ class ClusterState:
         self._busy_count = 0
         self._free_healthy_count = 0
         self._free_healthy_by_type: Dict[str, int] = {}
+        #: Version stamps consumed by the execution model's rate cache: the
+        #: membership version bumps on any node add/remove/health change, a
+        #: job's allocation version bumps whenever its GPU set changes.  A
+        #: job's effective rate is a pure function of state covered by these
+        #: two stamps (its GPUs, their types, its nodes' bandwidths), so a
+        #: cache entry is valid exactly while both are unchanged.
+        self.membership_version = 0
+        self._alloc_version: Dict[int, int] = {}
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -81,6 +89,7 @@ class ClusterState:
         self.nodes[node.node_id] = node
         self._node_gpu_ids[node.node_id] = []
         self._free_by_node[node.node_id] = set()
+        self.membership_version += 1
 
     def _register_gpu(self, gpu: GPU) -> None:
         """Index one GPU row (free or already assigned) under its node."""
@@ -142,6 +151,7 @@ class ClusterState:
         del self._node_gpu_ids[node_id]
         del self._free_by_node[node_id]
         del self.nodes[node_id]
+        self.membership_version += 1
         return evicted_jobs
 
     def mark_node_failed(self, node_id: int) -> List[int]:
@@ -162,6 +172,7 @@ class ClusterState:
             self._free_healthy_by_type[key] = (
                 self._free_healthy_by_type.get(key, 0) - free_here
             )
+            self.membership_version += 1
         return affected
 
     def mark_node_recovered(self, node_id: int) -> None:
@@ -174,6 +185,7 @@ class ClusterState:
         self._free_healthy_count += free_here
         key = gpu_type_key(node.gpu_type)
         self._free_healthy_by_type[key] = self._free_healthy_by_type.get(key, 0) + free_here
+        self.membership_version += 1
 
     def node(self, node_id: int) -> Node:
         if node_id not in self.nodes:
@@ -246,6 +258,11 @@ class ClusterState:
     def gpus_for_job(self, job_id: int) -> List[GPU]:
         return [self.gpus[g] for g in sorted(self._job_gpu_ids.get(job_id, ()))]
 
+    def num_gpus_for_job(self, job_id: int) -> int:
+        """O(1) count of GPUs a job currently holds."""
+        held = self._job_gpu_ids.get(job_id)
+        return len(held) if held is not None else 0
+
     def nodes_for_job(self, job_id: int) -> List[int]:
         """Distinct node ids hosting a job, sorted; empty if the job is not placed."""
         return sorted({self.gpus[g].node_id for g in self._job_gpu_ids.get(job_id, ())})
@@ -257,6 +274,10 @@ class ClusterState:
     def jobs_with_allocations(self) -> List[int]:
         """Ids of jobs currently holding at least one GPU, sorted."""
         return sorted(self._job_gpu_ids)
+
+    def alloc_version(self, job_id: int) -> int:
+        """Monotonic stamp of a job's allocation (bumps on assign/release)."""
+        return self._alloc_version.get(job_id, 0)
 
     def gpu(self, gpu_id: int) -> GPU:
         if gpu_id not in self.gpus:
@@ -287,6 +308,7 @@ class ClusterState:
                 )
             seen.add(gpu_id)
         held = self._job_gpu_ids.setdefault(job_id, set())
+        self._alloc_version[job_id] = self._alloc_version.get(job_id, 0) + 1
         for gpu_id in gpu_ids:
             gpu = self.gpus[gpu_id]
             gpu.job_id = job_id
@@ -313,6 +335,8 @@ class ClusterState:
         """Free every GPU (and auxiliary resources) held by a job; returns freed GPU ids."""
         freed = sorted(self._job_gpu_ids.pop(job_id, set()))
         aux_nodes = self._aux_nodes_by_job.pop(job_id, set())
+        if freed:
+            self._alloc_version[job_id] = self._alloc_version.get(job_id, 0) + 1
         for gpu_id in freed:
             gpu = self.gpus[gpu_id]
             gpu.job_id = None

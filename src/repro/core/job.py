@@ -85,6 +85,46 @@ class _StatusField:
             registry._reindex_status(obj, old, value)
 
 
+class _ProgressField:
+    """Data descriptor routing progress writes through the owning registry.
+
+    Scheduling policies keep ordered priority structures keyed on attained
+    service / remaining work (see
+    :class:`~repro.policies.scheduling.priority_index.RunnablePriorityIndex`).
+    For those structures to stay correct, every write to ``attained_service``
+    and ``work_done`` -- the execution model updates both once per running job
+    per round -- notifies the registry recorded by ``JobState.track``, which
+    forwards to its observers.  Untracked jobs pay only a dict store.
+    """
+
+    def __init__(self, default: float = 0.0) -> None:
+        self._default = default
+
+    def __set_name__(self, owner, name) -> None:
+        self._name = name
+        self._attr = "_" + name
+
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            # Dataclasses read the class attribute to obtain the __init__
+            # default for the field.
+            return self._default
+        return obj.__dict__[self._attr]
+
+    def __set__(self, obj, value) -> None:
+        state = obj.__dict__
+        old = state.get(self._attr)
+        state[self._attr] = value
+        registry = state.get("_registry")
+        if (
+            registry is not None
+            and registry._progress_observers
+            and old is not None
+            and old != value
+        ):
+            registry._notify_progress(obj, self._name, old, value)
+
+
 @dataclass
 class ScalingProfile:
     """How a job's throughput scales with the number of allocated GPUs.
@@ -161,8 +201,8 @@ class Job:
     admitted_time: Optional[float] = None
     first_schedule_time: Optional[float] = None
     completion_time: Optional[float] = None
-    attained_service: float = 0.0
-    work_done: float = 0.0
+    attained_service: float = _ProgressField(0.0)
+    work_done: float = _ProgressField(0.0)
     allocated_gpus: List[int] = field(default_factory=list)
     num_preemptions: int = 0
     num_launches: int = 0

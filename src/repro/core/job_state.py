@@ -16,6 +16,7 @@ an index instead of scanning and re-sorting the whole registry every round.
 
 from __future__ import annotations
 
+import weakref
 from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.core.exceptions import UnknownJobError
@@ -28,17 +29,131 @@ ACTIVE_STATUSES = tuple(s for s in JobStatus if s.is_active)
 FINISHED_STATUSES = tuple(s for s in JobStatus if s.is_terminal)
 
 
+class JobStateObserver:
+    """Receives change notifications from a :class:`JobState` registry.
+
+    Scheduling policies register an observer (via :meth:`JobState.add_observer`)
+    to maintain incremental priority structures instead of re-scanning and
+    re-sorting the registry every round.  Three hooks cover every way a job's
+    scheduling-relevant state can change:
+
+    * :meth:`on_job_tracked` -- a job entered the registry (or replaced a
+      previously tracked object with the same id);
+    * :meth:`on_status_change` -- a status transition, fired both by
+      :meth:`JobState.set_status` and by direct ``job.status = ...`` writes
+      (the status descriptor routes them here);
+    * :meth:`on_progress` -- ``attained_service`` or ``work_done`` changed
+      (the execution model writes both once per running job per round).
+
+    Hooks fire *after* the registry's own indexes are updated, so observers may
+    query the registry from inside a hook.  Observers must not mutate job
+    status or progress from inside a hook (no re-entrant transitions).
+    """
+
+    def on_job_tracked(self, job: Job) -> None:
+        return None
+
+    def on_status_change(self, job: Job, old: Optional[JobStatus], new: JobStatus) -> None:
+        return None
+
+    def on_progress(self, job: Job, field: str, old: float, new: float) -> None:
+        return None
+
+
 class JobState:
     """Registry of all submitted jobs with status-indexed views."""
 
     def __init__(self) -> None:
         self._jobs: Dict[int, Job] = {}
         self._by_status: Dict[JobStatus, Set[int]] = {s: set() for s in JobStatus}
+        #: Observers are held weakly: an observer is typically owned by a
+        #: scheduling policy, and policies may be swapped mid-run (the
+        #: synthesizer does) without an unregister call -- a strong list would
+        #: keep every stale policy index alive and dispatching forever.
+        self._observers: List[weakref.ref] = []
+        #: Observers that override on_progress; progress writes (two per
+        #: running job per round, the hottest notification path) dispatch only
+        #: to these.
+        self._progress_observers: List[weakref.ref] = []
+        #: Memoized sorted views keyed by the requested status tuple,
+        #: invalidated on any status transition or (re)tracking.  The hot loop
+        #: reads views like running_jobs() several times per round while
+        #: transitions happen at most a few times per round.
+        self._view_cache: Dict[tuple, List[Job]] = {}
         #: Simulated (or wall-clock) time of the current round; the scheduling
         #: loop refreshes this before invoking policies so policies that need a
         #: notion of "now" (Themis' fairness estimate, Tiresias' starvation
         #: guard, Optimus' convergence rate) can read it without a side channel.
         self.current_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+
+    def add_observer(self, observer: JobStateObserver) -> None:
+        """Register an observer for tracking/status/progress notifications.
+
+        Registering the same observer twice is a no-op (each observer receives
+        every notification exactly once).  The registry holds observers
+        *weakly*: a garbage-collected observer (e.g. the priority index of a
+        policy the synthesizer swapped out) silently drops off the dispatch
+        lists, so callers must keep a strong reference to an observer they
+        want notified.  Progress notifications are only dispatched to
+        observers that actually override ``on_progress``, so observers that
+        only care about membership/status changes add no cost to the
+        execution hot path.
+        """
+        if any(ref() is observer for ref in self._observers):
+            return
+        self._observers.append(weakref.ref(observer))
+        if type(observer).on_progress is not JobStateObserver.on_progress:
+            self._progress_observers.append(weakref.ref(observer))
+
+    def remove_observer(self, observer: JobStateObserver) -> None:
+        """Detach a previously registered observer (no-op if absent)."""
+        self._observers = [
+            ref for ref in self._observers if ref() is not None and ref() is not observer
+        ]
+        self._progress_observers = [
+            ref
+            for ref in self._progress_observers
+            if ref() is not None and ref() is not observer
+        ]
+
+    def _live_observers(self, refs: List[weakref.ref]) -> List[JobStateObserver]:
+        """Resolve weak observer refs, pruning any that died."""
+        observers = []
+        dead = False
+        for ref in refs:
+            observer = ref()
+            if observer is None:
+                dead = True
+            else:
+                observers.append(observer)
+        if dead:
+            refs[:] = [ref for ref in refs if ref() is not None]
+        return observers
+
+    def _notify_progress(self, job: Job, field: str, old: float, new: float) -> None:
+        """Forward a progress write to observers (called by the Job descriptor)."""
+        if not self._progress_observers or self._jobs.get(job.job_id) is not job:
+            return
+        for observer in self._live_observers(self._progress_observers):
+            observer.on_progress(job, field, old, new)
+
+    def __getstate__(self):
+        """Pickle support (parallel sweeps ship results across processes).
+
+        Observer registrations are runtime wiring to live policy objects --
+        weak references that neither can nor should cross a process boundary
+        -- so they are dropped; a policy on the receiving side re-binds
+        lazily.  The memoized views are likewise rebuildable.
+        """
+        state = self.__dict__.copy()
+        state["_observers"] = []
+        state["_progress_observers"] = []
+        state["_view_cache"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # Status index maintenance
@@ -51,6 +166,11 @@ class JobState:
         if old is not None:
             self._by_status[old].discard(job.job_id)
         self._by_status[new].add(job.job_id)
+        if self._view_cache:
+            self._view_cache.clear()
+        if self._observers:
+            for observer in self._live_observers(self._observers):
+                observer.on_status_change(job, old, new)
 
     def set_status(self, job_id: int, status: JobStatus) -> Job:
         """Transition a job to ``status``, keeping the status indexes in sync.
@@ -103,6 +223,11 @@ class JobState:
         self._jobs[job.job_id] = job
         job.__dict__["_registry"] = self
         self._by_status[job.status].add(job.job_id)
+        if self._view_cache:
+            self._view_cache.clear()
+        if self._observers:
+            for observer in self._live_observers(self._observers):
+                observer.on_job_tracked(job)
 
     def prune_completed_jobs(self) -> List[Job]:
         """Return (but keep a record of) jobs that reached a terminal state.
@@ -132,10 +257,15 @@ class JobState:
         return sorted(self._jobs.values(), key=lambda j: j.job_id)
 
     def jobs_with_status(self, *statuses: JobStatus) -> List[Job]:
-        ids: List[int] = []
-        for status in dict.fromkeys(statuses):
-            ids.extend(self._by_status[status])
-        return [self._jobs[i] for i in sorted(ids)]
+        cached = self._view_cache.get(statuses)
+        if cached is None:
+            ids: List[int] = []
+            for status in dict.fromkeys(statuses):
+                ids.extend(self._by_status[status])
+            cached = [self._jobs[i] for i in sorted(ids)]
+            self._view_cache[statuses] = cached
+        # Return a copy: callers may hold the list across transitions.
+        return list(cached)
 
     def count_with_status(self, *statuses: JobStatus) -> int:
         """O(1)-per-status count of jobs in the given statuses."""

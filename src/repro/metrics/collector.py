@@ -10,8 +10,9 @@ share estimates).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Deque, Dict, List
 
 from repro.core.abstractions import MetricCollector
 from repro.core.cluster_state import ClusterState
@@ -47,23 +48,30 @@ class ApplicationMetricCollector(MetricCollector):
 
     Policies that need a trend rather than the latest value (e.g. Optimus'
     convergence estimation or Pollux's goodput) read from these histories.
+    Each series is a ``deque(maxlen=max_history)``, so appending once the
+    window is full costs O(1) instead of the O(n) front-trim a list needs.
     """
 
     keys: tuple = ("loss", "throughput")
     max_history: int = 100
     name: str = "application-metric-collector"
-    history: Dict[int, Dict[str, List[float]]] = field(default_factory=dict)
+    history: Dict[int, Dict[str, Deque[float]]] = field(default_factory=dict)
+
+    def _new_series(self) -> Deque[float]:
+        return deque(maxlen=self.max_history)
 
     def collect(self, job_state: JobState, cluster_state: ClusterState, current_time: float) -> None:
         for job in job_state.running_jobs():
-            job_history = self.history.setdefault(job.job_id, {k: [] for k in self.keys})
+            job_history = self.history.setdefault(
+                job.job_id, {k: self._new_series() for k in self.keys}
+            )
             for key in self.keys:
                 if key in job.metrics:
-                    series = job_history.setdefault(key, [])
+                    series = job_history.get(key)
+                    if series is None:
+                        series = job_history[key] = self._new_series()
                     series.append(float(job.metrics[key]))
-                    if len(series) > self.max_history:
-                        del series[: len(series) - self.max_history]
 
     def latest(self, job_id: int, key: str, default: float = 0.0) -> float:
-        series = self.history.get(job_id, {}).get(key, [])
+        series = self.history.get(job_id, {}).get(key)
         return series[-1] if series else default

@@ -18,6 +18,14 @@ class UserQuotaAdmission(AdmissionPolicy):
     Jobs exceeding their user's quota wait in a per-user FIFO queue and are
     released as that user's earlier jobs finish.  ``default_quota`` applies to
     users without an explicit entry in ``quotas``.
+
+    A job whose gang is *larger than its user's whole quota* can never be
+    admitted no matter how many earlier jobs finish; queueing it would wait
+    forever (and, with such a job in the queue, the simulator's stall detector
+    never fires -- the livelock noted in the ROADMAP).  Such jobs are rejected
+    at submission instead: they are tracked in the registry with status
+    ``FAILED`` and ``metrics["admission_rejected"]`` set, so runs terminate
+    and the rejection is observable in the results.
     """
 
     name = "user-quota"
@@ -31,6 +39,8 @@ class UserQuotaAdmission(AdmissionPolicy):
             if quota < 1:
                 raise ConfigurationError(f"quota for user {user!r} must be >= 1")
         self._queues: Dict[str, Deque[Job]] = {}
+        #: Ids of jobs rejected because their gang exceeds the user quota.
+        self.rejected_job_ids: List[int] = []
 
     def pending_jobs(self) -> List[Job]:
         pending: List[Job] = []
@@ -54,6 +64,15 @@ class UserQuotaAdmission(AdmissionPolicy):
         job_state: JobState,
     ) -> List[Job]:
         for job in new_jobs:
+            if job.num_gpus > self._quota_for(job.user):
+                # Admission-reject: this gang can never fit the user's quota,
+                # so holding it would livelock.  Track it so the registry (and
+                # the simulator's termination checks) see a terminal job.
+                job_state.track(job)
+                job.status = JobStatus.FAILED
+                job.metrics["admission_rejected"] = "gang_exceeds_user_quota"
+                self.rejected_job_ids.append(job.job_id)
+                continue
             job.status = JobStatus.WAITING_ADMISSION
             self._queues.setdefault(job.user, deque()).append(job)
 

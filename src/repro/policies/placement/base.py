@@ -74,21 +74,27 @@ class AvailabilityView:
         """Remove GPUs from the view after they have been handed to a job.
 
         Only the nodes hosting the taken GPUs are touched, so the cost is
-        O(taken + free on those nodes) rather than a rebuild of the whole view.
+        O(taken + free on those nodes) rather than a rebuild of the whole
+        view; GPUs on nodes with nothing free (the common case for lease
+        renewals, whose GPUs are not in the view at all) cost one dict probe.
         """
+        free_by_node = self._free_by_node
+        if not free_by_node:
+            return
+        gpu_rows = self.cluster_state.gpus
         by_node: Dict[int, set] = {}
         for gpu_id in gpu_ids:
-            by_node.setdefault(self.cluster_state.gpu(gpu_id).node_id, set()).add(gpu_id)
+            node_id = gpu_rows[gpu_id].node_id
+            if node_id in free_by_node:
+                by_node.setdefault(node_id, set()).add(gpu_id)
         for node_id, taken in by_node.items():
-            gpus = self._free_by_node.get(node_id)
-            if gpus is None:
-                continue
+            gpus = free_by_node[node_id]
             remaining = [g for g in gpus if g.gpu_id not in taken]
             self._total -= len(gpus) - len(remaining)
             if remaining:
-                self._free_by_node[node_id] = remaining
+                free_by_node[node_id] = remaining
             else:
-                del self._free_by_node[node_id]
+                del free_by_node[node_id]
 
 
 class BasePlacementPolicy(PlacementPolicy):

@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.core.abstractions import ScheduleEntry, SchedulingPolicy
 from repro.core.cluster_state import ClusterState
+from repro.core.job import Job
 from repro.core.job_state import JobState
+from repro.policies.scheduling.priority_index import RunnablePriorityIndex
+
+
+def _fifo_key(job: Job):
+    return (job.arrival_time, job.job_id)
 
 
 class FifoScheduling(SchedulingPolicy):
@@ -36,9 +42,19 @@ class FifoScheduling(SchedulingPolicy):
 
     def __init__(self, hol_blocking: bool = False) -> None:
         self.hol_blocking = hol_blocking
+        self._index = RunnablePriorityIndex(idle_key=_fifo_key)
+
+    def next_policy_event_time(
+        self, job_state: JobState, cluster_state: ClusterState, now: float
+    ) -> Optional[float]:
+        # Arrival order is static and demands are the requested gangs, so the
+        # decision is a pure function of the job set, statuses and capacity:
+        # it can only change on external events.
+        return None
 
     def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
-        ordered = sorted(job_state.runnable_jobs(), key=lambda j: (j.arrival_time, j.job_id))
+        self._index.bind(job_state)
+        ordered = self._index.ordered(running_key=_fifo_key)
         if not self.hol_blocking:
             return [ScheduleEntry(job_id=j.job_id, gpu_demand=j.num_gpus) for j in ordered]
         capacity = sum(

@@ -13,24 +13,54 @@ behaviour reproduced in the paper's Figures 8 and 9:
 
 We model goodput as ``speedup(g) * statistical_efficiency(g)`` where the
 statistical efficiency decays gently as the job scales out (the larger the
-effective batch, the less useful each example).  Allocation is a greedy
-water-filling over marginal goodput, with running jobs guaranteed at least one
-GPU (no preemption) and queued jobs served in arrival order.
+effective batch, the less useful each example).  Allocation is water-filling
+over marginal goodput, with running jobs guaranteed at least one GPU (no
+preemption) and queued jobs served in arrival order.
+
+The water-filling is implemented as a lazy max-heap over marginal goodput --
+O(capacity log jobs) per round instead of the seed's O(capacity x jobs) full
+rescan per GPU -- and each job's goodput curve is memoized: it depends only on
+the job's static profile ``(scaling, num_gpus, max_batch_scale)``, so it is
+computed once per job and invalidated via :meth:`invalidate_profile` if a
+profiler updates the job mid-run.  Because a job's marginal goodput changes
+only when *that job* receives a GPU, the heap pop (after discarding stale
+entries) is always the true argmax, and ties break on the lower job id exactly
+as the seed's first-strictly-greater scan did: the schedule is bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+import heapq
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.abstractions import ScheduleEntry, SchedulingPolicy
 from repro.core.cluster_state import ClusterState
 from repro.core.exceptions import ConfigurationError
 from repro.core.job import Job, JobStatus
 from repro.core.job_state import JobState
+from repro.policies.scheduling.priority_index import RunnablePriorityIndex
+
+#: Minimum marginal goodput for which another GPU is still worth handing out
+#: (matches the seed's strictly-greater comparison against this epsilon).
+_MIN_GAIN = 1e-12
+
+
+def _arrival_key(job: Job):
+    return (job.arrival_time, job.job_id)
+
+
+class _GoodputCurve:
+    """Memoized goodput-by-GPU-count curve for one job's static profile."""
+
+    __slots__ = ("cap", "values")
+
+    def __init__(self, cap: int, values: List[float]) -> None:
+        self.cap = cap  #: GPUs beyond which the marginal goodput is zero.
+        self.values = values  #: ``values[g]`` = goodput on ``g`` GPUs, g in [0, cap].
 
 
 class PolluxScheduling(SchedulingPolicy):
-    """Greedy goodput-maximising elastic allocation without preemption."""
+    """Heap-based goodput-maximising elastic allocation without preemption."""
 
     name = "pollux"
 
@@ -41,6 +71,20 @@ class PolluxScheduling(SchedulingPolicy):
             raise ConfigurationError("restart_penalty must be >= 0")
         self.efficiency_decay = efficiency_decay
         self.restart_penalty = restart_penalty
+        self._curves: Dict[int, _GoodputCurve] = {}
+        #: Running and waiting tiers both order by (arrival, id) -- static
+        #: keys -- so the index keeps the waiting queue permanently sorted.
+        self._index = RunnablePriorityIndex(
+            idle_key=_arrival_key,
+            on_rebuild=self._curves.clear,
+            on_transition=self._on_transition,
+        )
+
+    def _on_transition(self, job: Job, old) -> None:
+        # old=None means the job was (re)tracked: a replacement object may
+        # carry a different profile, so its memoized curve must go.
+        if old is None:
+            self._curves.pop(job.job_id, None)
 
     # ------------------------------------------------------------------
     # Goodput model
@@ -58,11 +102,29 @@ class PolluxScheduling(SchedulingPolicy):
             return 0.0
         return job.scaling.speedup(num_gpus) * self.statistical_efficiency(job, num_gpus)
 
+    def _curve(self, job: Job) -> _GoodputCurve:
+        curve = self._curves.get(job.job_id)
+        if curve is None:
+            cap = min(job.scaling.max_useful_gpus, job.num_gpus * max(1, job.max_batch_scale))
+            values = [self.goodput(job, g) for g in range(cap + 1)]
+            curve = _GoodputCurve(cap, values)
+            self._curves[job.job_id] = curve
+        return curve
+
+    def invalidate_profile(self, job_id: int) -> None:
+        """Drop the memoized goodput curve after a job's profile changed.
+
+        The curve depends only on ``(scaling, num_gpus, max_batch_scale)``;
+        callers that update any of these mid-run (an online profiler) must
+        invalidate so the next round recomputes the curve.
+        """
+        self._curves.pop(job_id, None)
+
     def marginal_goodput(self, job: Job, num_gpus: int) -> float:
-        cap = min(job.scaling.max_useful_gpus, job.num_gpus * max(1, job.max_batch_scale))
-        if num_gpus >= cap:
+        curve = self._curve(job)
+        if num_gpus >= curve.cap:
             return 0.0
-        gain = self.goodput(job, num_gpus + 1) - self.goodput(job, num_gpus)
+        gain = curve.values[num_gpus + 1] - curve.values[num_gpus]
         if num_gpus == 0 and job.status != JobStatus.RUNNING:
             # Starting a brand-new job costs a checkpoint-restore; bias very
             # slightly towards growing existing jobs, as Pollux's re-allocation
@@ -70,52 +132,68 @@ class PolluxScheduling(SchedulingPolicy):
             gain -= self.restart_penalty
         return gain
 
+    def next_policy_event_time(
+        self, job_state: JobState, cluster_state: ClusterState, now: float
+    ) -> Optional[float]:
+        # The allocation is a pure function of the runnable set, job statuses,
+        # profiles and healthy capacity -- none of which drift between
+        # external events -- so the decision never changes on its own.
+        return None
+
     # ------------------------------------------------------------------
 
     def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
-        jobs = job_state.runnable_jobs()
-        if not jobs:
+        self._index.bind(job_state)
+        running = sorted(
+            ((_arrival_key(job), job) for job in self._index.running_jobs()),
+            key=lambda entry: entry[0],
+        )
+        waiting = self._index.idle_entries()
+        if not running and not waiting:
             return []
         capacity = sum(
             node.num_gpus for node in cluster_state.nodes.values() if not node.failed
         )
 
-        running = [j for j in jobs if j.status == JobStatus.RUNNING]
-        waiting = sorted(
-            (j for j in jobs if j.status != JobStatus.RUNNING),
-            key=lambda j: (j.arrival_time, j.job_id),
-        )
-
-        allocation: Dict[int, int] = {j.job_id: 0 for j in jobs}
-        by_id = {j.job_id: j for j in jobs}
-
+        allocation: Dict[int, int] = {}
         # Running jobs are never preempted: they keep at least one GPU.
         remaining = capacity
-        for job in sorted(running, key=lambda j: (j.arrival_time, j.job_id)):
+        for _, job in running:
             if remaining <= 0:
-                break
+                allocation[job.job_id] = 0
+                continue
             allocation[job.job_id] = 1
             remaining -= 1
+        for _, job in waiting:
+            allocation[job.job_id] = 0
 
         # Remaining GPUs go to whichever job has the highest marginal goodput;
         # queued jobs compete here and receive their first GPU when idle
         # capacity exists (low load) but queue behind running jobs otherwise.
-        while remaining > 0:
-            best_id = None
-            best_gain = 1e-12
-            for job_id, gpus in allocation.items():
-                gain = self.marginal_goodput(by_id[job_id], gpus)
-                if gain > best_gain:
-                    best_gain = gain
-                    best_id = job_id
-            if best_id is None:
-                break
-            allocation[best_id] += 1
+        # Lazy max-heap: one live entry per job (its gain changes only when it
+        # receives a GPU); stale entries are discarded on pop.
+        by_id = {job.job_id: job for _, job in running}
+        by_id.update((job.job_id, job) for _, job in waiting)
+        heap: List[Tuple[float, int, int]] = [
+            (-self.marginal_goodput(by_id[job_id], gpus), job_id, gpus)
+            for job_id, gpus in allocation.items()
+        ]
+        heapq.heapify(heap)
+        while remaining > 0 and heap:
+            neg_gain, job_id, gpus = heapq.heappop(heap)
+            if allocation[job_id] != gpus:
+                continue  # stale entry from before this job's last grant
+            if -neg_gain <= _MIN_GAIN:
+                break  # the best remaining marginal gain is not worth a GPU
+            allocation[job_id] = gpus + 1
             remaining -= 1
+            heapq.heappush(
+                heap,
+                (-self.marginal_goodput(by_id[job_id], gpus + 1), job_id, gpus + 1),
+            )
 
-        ordered = sorted(running, key=lambda j: (j.arrival_time, j.job_id)) + waiting
         return [
-            ScheduleEntry(job_id=j.job_id, gpu_demand=allocation[j.job_id])
-            for j in ordered
-            if allocation[j.job_id] > 0
+            ScheduleEntry(job_id=job.job_id, gpu_demand=allocation[job.job_id])
+            for _, job in (*running, *waiting)
+            if allocation[job.job_id] > 0
         ]

@@ -11,6 +11,7 @@ preemption mechanisms change.
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -23,7 +24,7 @@ from repro.core.abstractions import (
     SchedulingPolicy,
     TerminationPolicy,
 )
-from repro.core.blox_manager import BloxManager
+from repro.core.blox_manager import BloxManager, is_lease_renewal
 from repro.core.cluster_state import ClusterState
 from repro.core.exceptions import ConfigurationError, SimulationError
 from repro.core.job import Job, JobStatus
@@ -174,6 +175,32 @@ class Simulator:
             and getattr(self.admission_policy, "steady_state_safe", False)
             and getattr(self.placement_policy, "steady_state_safe", False)
         )
+        # Decision-stable skipping (the path for elastic/discretised policies)
+        # requires the scheduling policy to bound when its decision next
+        # changes.  A policy that does not override next_policy_event_time
+        # keeps the base "may change any round" contract, so the detection
+        # mirrors the ClusterManager.next_event_time migration check below.
+        # A drift-free execution rate (no per-round jitter RNG that strides
+        # must not consume out of order) is required both for predicting
+        # completion times and for batched per-job advancement.
+        self._jitter_free = (
+            type(self.execution_model.overheads).iteration_jitter
+            is OverheadModel.iteration_jitter
+        )
+        self._policy_event_aware = (
+            type(self.scheduling_policy).next_policy_event_time
+            is not SchedulingPolicy.next_policy_event_time
+            and getattr(self.placement_policy, "steady_state_safe", False)
+            and getattr(self.admission_policy, "steady_state_safe", True)
+            and self._jitter_free
+        )
+        # Steady-mode strides additionally require that nothing observes the
+        # intermediate rounds (collectors sample per round by contract).
+        self._stride_accelerable = self._jitter_free and not self.metric_collectors
+        #: Whether the most recent full round's placement decision was a pure
+        #: lease renewal (nothing suspended, nothing newly launched).  The
+        #: elastic fast-forward path uses this as its fixed-point witness.
+        self._last_decision_noop = False
         # A ClusterManager subclass that overrides update() but not
         # next_event_time() has per-round effects the simulator cannot predict;
         # treating its inherited "no events ever" as truth would silently skip
@@ -231,6 +258,57 @@ class Simulator:
     # Event-skipping fast-forward
     # ------------------------------------------------------------------
 
+    def _decision_is_noop(self, decision) -> bool:
+        """Whether applying ``decision`` leaves job and cluster state unchanged.
+
+        True when nothing is suspended and every launch entry is a lease
+        renewal (the job is already RUNNING on exactly those GPUs).  Must be
+        evaluated *before* ``exec_jobs`` applies the decision.
+        """
+        if decision.to_suspend:
+            return False
+        for job_id, gpu_ids in decision.to_launch.items():
+            if not is_lease_renewal(self.job_state.get(job_id), gpu_ids):
+                return False
+        return True
+
+    def _gang_steady_witness(self) -> bool:
+        """Whether rescheduling is provably a no-op this round (gang path).
+
+        Requires every composed policy to be ``steady_state_safe``, every
+        active job to be RUNNING, and each to hold exactly its requested gang.
+        """
+        job_state = self.job_state
+        if not self._steady_state_safe:
+            return False
+        if job_state.count_with_status(JobStatus.RUNNING) != job_state.count_active():
+            return False
+        for job in job_state.running_jobs():
+            if len(job.allocated_gpus) != job.num_gpus:
+                return False
+        return True
+
+    def _earliest_completion_bound(self) -> Optional[float]:
+        """Earliest time any running job can reach its termination target.
+
+        Uses the execution model's own rate function, so the estimate matches
+        what the per-round ``advance`` calls will accumulate (modulo
+        floating-point association, which the caller's one-round margin
+        absorbs).  ``None`` when no running job can finish (e.g. zero rates).
+        """
+        mgr = self.manager
+        earliest: Optional[float] = None
+        for job in self.job_state.running_jobs():
+            rate = self.execution_model.cached_rate(job, self.cluster_state)[0]
+            if rate <= 0:
+                continue
+            target = self.execution_model.termination.work_target(job)
+            remaining = max(0.0, target - job.work_done)
+            finish = mgr.current_time + job.pending_overhead + remaining / rate
+            if earliest is None or finish < earliest:
+                earliest = finish
+        return earliest
+
     def _fast_forward(self, round_log: List[RoundRecord]) -> bool:
         """Skip rounds during which no scheduling decision can change.
 
@@ -261,25 +339,88 @@ class Simulator:
         if self.admission_policy.pending_jobs():
             return False
 
+        policy_bound: Optional[float] = None
         running = job_state.count_with_status(JobStatus.RUNNING)
         active = job_state.count_active()
+        # A stride can run in *steady* mode -- per-job tight-loop accounting
+        # via ExecutionModel.advance_steady plus batched round records -- when
+        # per-round observation is provably equivalent to batched observation:
+        # no metric collectors sample intermediate rounds, the rate model is
+        # drift-free (no per-round jitter RNG), and the stride is bounded to
+        # end strictly before the earliest completion.
+        steady_mode = False
         if active:
-            # Rounds with active jobs can only be skipped when rescheduling is
-            # provably a no-op: audited policies, every active job already
+            # Rounds with active jobs can be skipped on one of two witnesses.
+            # Gang steady state: audited policies, every active job already
             # running, and each holding exactly its requested gang.
-            if not self._steady_state_safe:
-                return False
-            if running != active:
-                return False
-            for job in job_state.running_jobs():
-                if len(job.allocated_gpus) != job.num_gpus:
+            gang_steady = self._gang_steady_witness()
+            if gang_steady:
+                # The chain's deferred bookkeeping (one probe + one flush per
+                # job) only pays for itself on long strides; near an arrival
+                # or cluster event the classic per-round loop is cheaper and
+                # bit-identical, so short windows fall through to it.
+                if self._stride_accelerable:
+                    next_event = mgr.cluster_manager.next_event_time(mgr.current_time)
+                    next_arrival = mgr.next_arrival_time()
+                    entry_bounds = [t for t in (next_event, next_arrival) if t is not None]
+                    if (
+                        not entry_bounds
+                        or min(entry_bounds) - mgr.current_time > 1 * mgr.round_duration
+                    ):
+                        return self._fast_forward_chain(round_log)
+                # Not accelerable (collectors or jitter), or a short window:
+                # fall through to the classic per-round loop, which breaks at
+                # completions.
+            else:
+                # Decision-stable (elastic/discretised policies): this round's
+                # decision was a pure lease renewal, and the policy guarantees
+                # -- via next_policy_event_time -- that absent external events
+                # it re-emits the same schedule until the returned time.  An
+                # unchanged schedule against unchanged state places the same
+                # no-op, so the skipped rounds are provably identical.
+                if not (self._policy_event_aware and self._last_decision_noop):
                     return False
+                bound = self.scheduling_policy.next_policy_event_time(
+                    job_state, self.cluster_state, mgr.current_time
+                )
+                if bound is not None:
+                    # One-round safety margin: the policy computes its next
+                    # internal event in closed form, and the accumulated
+                    # floating-point state it predicts may cross a threshold
+                    # up to one ulp away from the closed form.  Resuming a
+                    # round early costs one cheap full round and removes the
+                    # risk of skipping a round whose decision differed.
+                    policy_bound = bound - mgr.round_duration
+                    if policy_bound <= mgr.current_time:
+                        return False
+                # Unlike the gang path (where nothing is waiting for GPUs and
+                # a completion therefore cannot change the next decision), a
+                # completion here frees GPUs that a queued job must receive in
+                # that very round -- so the stride must stop *before* the
+                # first completion, not merely break at it.  Steady strides
+                # enforce this by excluding the completing round from the
+                # probe-sized stride; the classic loop (collectors present)
+                # bounds the horizon by the closed-form completion estimate
+                # with a one-round safety margin.
+                steady_mode = self._stride_accelerable
+                if not steady_mode:
+                    completion = self._earliest_completion_bound()
+                    if completion is not None:
+                        completion -= mgr.round_duration
+                        if completion <= mgr.current_time:
+                            return False
+                        if policy_bound is None or completion < policy_bound:
+                            policy_bound = completion
 
-        # Nothing may fire before the next arrival or cluster event.
+        # Nothing may fire before the next arrival or cluster event (or, on
+        # the decision-stable path, the policy's own next event).
         next_event = mgr.cluster_manager.next_event_time(mgr.current_time)
         next_arrival = mgr.next_arrival_time()
-        bounds = [t for t in (next_event, next_arrival) if t is not None]
+        bounds = [t for t in (next_event, next_arrival, policy_bound) if t is not None]
         horizon = min(bounds) if bounds else math.inf
+
+        if steady_mode:
+            return self._fast_forward_steady(horizon, round_log)
 
         while (
             mgr.round_number + 1 < self.max_rounds
@@ -301,6 +442,207 @@ class Simulator:
                 # take over again (its next rounds are no-ops for the policies
                 # but cheap, and they re-establish the skip conditions).
                 break
+        return False
+
+    def _fast_forward_chain(self, round_log: List[RoundRecord]) -> bool:
+        """Chained gang-steady strides with deferred per-job advancement.
+
+        Entered with the gang witness held (every active job RUNNING on
+        exactly its requested gang, all composed policies steady-state safe)
+        and the stride accelerable (no collectors, no jitter).  Under the
+        witness, a completion cannot change any scheduling decision -- the
+        remaining jobs simply keep their gangs -- so whole drain phases
+        collapse into one chain:
+
+        * each running job is probed **once** for the absolute round in which
+          it will complete (exact per-round replay, not closed form), and the
+          results drive a min-heap of upcoming completion rounds;
+        * between completion rounds, nothing observable changes: the round
+          records (constant counts, accumulated clock) are appended directly
+          and job advancement is *deferred*;
+        * at each completion round, exactly the completing jobs are
+          materialised (advanced through the round, completed, pruned); every
+          other job's accounting is flushed once, when the chain exits.
+
+        Because deferred flushing replays each job's per-round operations in
+        order, final job state, completion times and the round log are
+        bit-identical to the classic per-round loop.
+        """
+        mgr = self.manager
+        job_state = self.job_state
+        execution = self.execution_model
+        rd = mgr.round_duration
+        entry_round = mgr.round_number
+
+        jobs = job_state.running_jobs()
+        rates: Dict[int, float] = {}
+        advanced_through: Dict[int, int] = {}
+        completions: List[Tuple[int, int]] = []  # (absolute round, job_id)
+        probe_cap = self.max_rounds - 1 - entry_round
+        if probe_cap <= 0:
+            return False
+        # The chain cannot extend past the first arrival or cluster event, so
+        # probing beyond that horizon is wasted work (contended phases enter
+        # short chains constantly).  An upper bound is enough: completions
+        # probed past the chain's actual end are simply never reached.
+        next_event = mgr.cluster_manager.next_event_time(mgr.current_time)
+        next_arrival = mgr.next_arrival_time()
+        entry_bounds = [t for t in (next_event, next_arrival) if t is not None]
+        if entry_bounds:
+            to_horizon = int((min(entry_bounds) - mgr.current_time) / rd) + 2
+            probe_cap = min(probe_cap, max(1, to_horizon))
+        for job in jobs:
+            rate = execution.cached_rate(job, self.cluster_state)[0]
+            rates[job.job_id] = rate
+            advanced_through[job.job_id] = entry_round
+            completing = execution.steady_completion_round(job, rd, probe_cap, rate)
+            if completing is not None:
+                completions.append((entry_round + completing, job.job_id))
+        heapq.heapify(completions)
+        by_id = {job.job_id: job for job in jobs}
+
+        def flush(job: Job, upto_round: int, final_round_start: float) -> bool:
+            owed = upto_round - advanced_through[job.job_id]
+            advanced_through[job.job_id] = upto_round
+            if owed <= 0:
+                return False
+            # rate=None lets advance_steady hit the version-stamped rate
+            # cache, which also supplies the fragmented flag.
+            return execution.advance_steady(
+                job, self.cluster_state, final_round_start, rd, owed
+            )
+
+        def flush_all() -> None:
+            for job in jobs:
+                if job.status == JobStatus.RUNNING:
+                    flush(job, mgr.round_number, mgr.current_time - rd)
+            job_state.current_time = mgr.current_time
+
+        while True:
+            next_event = mgr.cluster_manager.next_event_time(mgr.current_time)
+            next_arrival = mgr.next_arrival_time()
+            bounds = [t for t in (next_event, next_arrival) if t is not None]
+            horizon = min(bounds) if bounds else math.inf
+            round_cap = self.max_rounds - 1 - mgr.round_number
+            if horizon == math.inf:
+                segment_cap = round_cap
+            else:
+                # Mirror the classic loop's accumulated-clock comparisons.
+                segment_cap = 0
+                clock = mgr.current_time
+                while segment_cap < round_cap and clock + rd < horizon:
+                    clock += rd
+                    segment_cap += 1
+            boundary = completions[0][0] if completions else None
+            if boundary is None or boundary - mgr.round_number > segment_cap:
+                # No completion inside this segment: skip to the horizon.
+                for _ in range(segment_cap):
+                    mgr.advance_time()
+                    round_log.append(self._round_record())
+                flush_all()
+                return False
+            # Skip to the completion round; its record must reflect the
+            # post-completion state, so it is appended after materialising.
+            steps = boundary - mgr.round_number
+            for _ in range(steps - 1):
+                mgr.advance_time()
+                round_log.append(self._round_record())
+            mgr.advance_time()
+            final_round_start = mgr.current_time - rd
+            while completions and completions[0][0] == boundary:
+                _, job_id = heapq.heappop(completions)
+                job = by_id[job_id]
+                if not flush(job, boundary, final_round_start):
+                    raise SimulationError(
+                        f"job {job_id} did not complete in its probed round "
+                        f"{boundary}; steady-chain accounting diverged"
+                    )
+            mgr.prune_completed_jobs(self.cluster_state, job_state)
+            if self._tracked_all_finished():
+                # The simulation ends at this round exactly as the full loop
+                # would; materialise the remaining jobs' deferred rounds so
+                # their work/service accounting matches a per-round run.
+                flush_all()
+                return True
+            job_state.current_time = mgr.current_time
+            round_log.append(self._round_record())
+            if not job_state.count_active():
+                flush_all()
+                return False
+            # The gang witness is preserved by construction (the remaining
+            # jobs keep running on their exact gangs), so chain directly into
+            # the next segment.
+
+    def _fast_forward_steady(
+        self,
+        horizon: float,
+        round_log: List[RoundRecord],
+    ) -> bool:
+        """Steady-mode decision-stable stride: batched advancement + records.
+
+        Only entered on the decision-stable (elastic/discretised) path when
+        the stride is rate-stable (no jitter model) and unobserved (no metric
+        collectors); gang-steady strides use :meth:`_fast_forward_chain`
+        instead.  The stride length is the smaller of the horizon -- derived
+        with exactly the comparisons the classic loop would make -- and one
+        round *short of* the earliest completing round, found by replaying
+        the per-round accounting without mutation
+        (:meth:`ExecutionModel.steady_completion_round`): a completion frees
+        GPUs that the next full round must be able to hand to a queued job.
+        """
+        mgr = self.manager
+        job_state = self.job_state
+        round_cap = self.max_rounds - 1 - mgr.round_number
+        if round_cap <= 0:
+            return False
+        if horizon == math.inf:
+            rounds = round_cap
+        else:
+            # Mirror the classic loop's accumulated-clock comparisons exactly
+            # so both stop at the same round.
+            rounds = 0
+            clock = mgr.current_time
+            while rounds < round_cap and clock + mgr.round_duration < horizon:
+                clock += mgr.round_duration
+                rounds += 1
+        if rounds == 0:
+            return False
+        execution = self.execution_model
+        advancing = [
+            (job, execution.cached_rate(job, self.cluster_state)[0])
+            for job in job_state.running_jobs()
+        ]
+        for job, rate in advancing:
+            completing = execution.steady_completion_round(
+                job, mgr.round_duration, rounds, rate
+            )
+            if completing is not None:
+                # Stop one round short: the completing round must run as a
+                # full round so the freed GPUs can go to a queued job.
+                limit = completing - 1
+                if limit < rounds:
+                    rounds = limit
+        if rounds <= 0:
+            return False
+
+        # Rounds before the last cannot change any observable state, so their
+        # records (constant counts, accumulated clock) are appended up front;
+        # the final round's record is appended after completions are applied
+        # and pruned, mirroring the classic per-round order of operations.
+        for _ in range(rounds - 1):
+            mgr.advance_time()
+            round_log.append(self._round_record())
+        mgr.advance_time()
+        final_round_start = mgr.current_time - mgr.round_duration
+        for job, _rate in advancing:
+            execution.advance_steady(
+                job, self.cluster_state, final_round_start, mgr.round_duration, rounds
+            )
+        mgr.prune_completed_jobs(self.cluster_state, job_state)
+        if self._tracked_all_finished():
+            return True
+        job_state.current_time = mgr.current_time
+        round_log.append(self._round_record())
         return False
 
     def run(self) -> SimulationResult:
@@ -336,7 +678,11 @@ class Simulator:
             schedule = self.scheduling_policy.schedule(self.job_state, self.cluster_state)
             decision = self.placement_policy.place(schedule, self.cluster_state, self.job_state)
 
-            # 6. Apply the decision.
+            # 6. Apply the decision (recording, for the decision-stable
+            # fast-forward path, whether it was a pure lease renewal; this
+            # must be judged against the pre-application state).
+            if self.fast_forward and self._policy_event_aware:
+                self._last_decision_noop = self._decision_is_noop(decision)
             mgr.exec_jobs(decision, self.cluster_state, self.job_state)
 
             # 7. Metric collection.

@@ -17,7 +17,7 @@ policies "on a common footing" as the paper argues.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.core.abstractions import TerminationPolicy
 from repro.core.cluster_state import ClusterState
@@ -58,6 +58,17 @@ class ExecutionModel:
         self.termination = (
             termination_policy if termination_policy is not None else EpochBasedTermination()
         )
+        # A running job's effective rate is a pure function of its allocation
+        # and the cluster's membership, both covered by the cluster's version
+        # stamps -- unless the overhead model injects per-round jitter, whose
+        # RNG must be consumed exactly once per round.  The cache keys on the
+        # cluster object identity plus both stamps.
+        self._rates_cacheable = (
+            type(self.overheads).iteration_jitter is OverheadModel.iteration_jitter
+        )
+        #: job id -> (cluster, membership_version, alloc_version, rate,
+        #: fragmented, num_gpus)
+        self._rate_cache: Dict[int, Tuple[object, int, int, float, bool, int]] = {}
 
     # ------------------------------------------------------------------
     # Rate model
@@ -93,6 +104,39 @@ class ExecutionModel:
         jitter = self.overheads.iteration_jitter(job)
         return scaling * compute_factor * placement * cpu_factor * jitter
 
+    def cached_rate(self, job: Job, cluster_state: ClusterState) -> Tuple[float, bool, int]:
+        """``(effective_rate, is_fragmented, num_gpus)`` with memoization.
+
+        The three values are pure functions of state covered by the cluster's
+        version stamps, so one entry serves every round until the job's
+        allocation or the cluster membership changes.  Falls back to a fresh
+        computation per call when the overhead model has per-round jitter
+        (the RNG draw must happen exactly once per round).
+        """
+        if not self._rates_cacheable:
+            return (
+                self.effective_rate(job, cluster_state),
+                len(cluster_state.nodes_for_job(job.job_id)) > 1,
+                cluster_state.num_gpus_for_job(job.job_id),
+            )
+        membership = cluster_state.membership_version
+        alloc = cluster_state.alloc_version(job.job_id)
+        entry = self._rate_cache.get(job.job_id)
+        if (
+            entry is not None
+            and entry[0] is cluster_state
+            and entry[1] == membership
+            and entry[2] == alloc
+        ):
+            return entry[3], entry[4], entry[5]
+        rate = self.effective_rate(job, cluster_state)
+        fragmented = len(cluster_state.nodes_for_job(job.job_id)) > 1
+        num_gpus = cluster_state.num_gpus_for_job(job.job_id)
+        self._rate_cache[job.job_id] = (
+            cluster_state, membership, alloc, rate, fragmented, num_gpus
+        )
+        return rate, fragmented, num_gpus
+
     # ------------------------------------------------------------------
     # Round advancement
     # ------------------------------------------------------------------
@@ -112,12 +156,10 @@ class ExecutionModel:
         """
         if job.status != JobStatus.RUNNING:
             raise SimulationError(f"cannot advance job {job.job_id} in status {job.status}")
-        gpus = cluster_state.gpus_for_job(job.job_id)
-        if not gpus:
+        rate, fragmented, num_gpus = self.cached_rate(job, cluster_state)
+        if not num_gpus:
             raise SimulationError(f"running job {job.job_id} holds no GPUs")
-
-        rate = self.effective_rate(job, cluster_state)
-        if len(cluster_state.nodes_for_job(job.job_id)) > 1:
+        if fragmented:
             job.metrics["was_fragmented"] = True
         available = round_duration
 
@@ -143,7 +185,7 @@ class ExecutionModel:
                 work = available * rate
 
         job.work_done += work
-        job.attained_service += len(gpus) * (compute_seconds + overhead_used)
+        job.attained_service += num_gpus * (compute_seconds + overhead_used)
         self._update_app_metrics(job, rate)
 
         if completed:
@@ -158,16 +200,130 @@ class ExecutionModel:
             effective_rate=rate,
         )
 
+    def steady_completion_round(
+        self,
+        job: Job,
+        round_duration: float,
+        max_rounds: int,
+        rate: float,
+    ) -> Optional[int]:
+        """Stride round (1-based) in which a running job would complete.
+
+        A pure probe: replays the per-round work/overhead accounting of
+        :meth:`advance` -- identical values, identical operation order --
+        without mutating the job, so the simulator can size a fast-forward
+        stride exactly.  Returns ``None`` when the job cannot complete within
+        ``max_rounds`` rounds at the given (constant) rate.
+        """
+        if rate <= 0:
+            return None
+        target = self.termination.work_target(job)
+        work = job.work_done
+        pending = job.pending_overhead
+        for i in range(1, max_rounds + 1):
+            overhead_used = min(pending, round_duration)
+            pending -= overhead_used
+            available = round_duration - overhead_used
+            remaining = max(0.0, target - work)
+            if remaining / rate <= available:
+                return i
+            work += available * rate
+        return None
+
+    def advance_steady(
+        self,
+        job: Job,
+        cluster_state: ClusterState,
+        final_round_start: float,
+        round_duration: float,
+        rounds: int,
+        rate: Optional[float] = None,
+    ) -> bool:
+        """Advance one running job across ``rounds`` steady-state rounds at once.
+
+        Used by the simulator's fast-forward when the job's allocation,
+        placement and rate are constant across the stride: the per-round
+        work/overhead/service accounting is replayed in a tight loop with
+        exactly the floating-point operations :meth:`advance` would perform
+        (same values, same order, per job), so the job's state after the call
+        is bit-identical to ``rounds`` individual ``advance`` calls --
+        including the sub-round completion time if the job finishes in the
+        stride's final round (callers size strides with
+        :meth:`steady_completion_round` so a completion can only fall there).
+        The application metrics are pure functions of the final state and the
+        constant rate, so they are flushed once at the end instead of per
+        round.
+
+        ``final_round_start`` is the wall-clock start of the stride's *last*
+        round, taken from the manager's accumulated clock so a completion time
+        assigned here is bit-identical to the one ``advance`` would assign.
+        Returns whether the job completed.
+        """
+        if job.status != JobStatus.RUNNING:
+            raise SimulationError(f"cannot advance job {job.job_id} in status {job.status}")
+        if rate is None:
+            rate, fragmented, num_gpus = self.cached_rate(job, cluster_state)
+        else:
+            fragmented = len(cluster_state.nodes_for_job(job.job_id)) > 1
+            num_gpus = cluster_state.num_gpus_for_job(job.job_id)
+        if not num_gpus:
+            raise SimulationError(f"running job {job.job_id} holds no GPUs")
+        if fragmented:
+            job.metrics["was_fragmented"] = True
+
+        target = self.termination.work_target(job)
+        work = job.work_done
+        attained = job.attained_service
+        pending = job.pending_overhead
+        completed = False
+        for index in range(rounds):
+            overhead_used = min(pending, round_duration)
+            pending -= overhead_used
+            available = round_duration - overhead_used
+            remaining = max(0.0, target - work)
+            if rate <= 0:
+                compute_seconds = 0.0
+                work_delta = 0.0
+            else:
+                time_to_finish = remaining / rate
+                if time_to_finish <= available:
+                    compute_seconds = time_to_finish
+                    work_delta = remaining
+                    completed = True
+                else:
+                    compute_seconds = available
+                    work_delta = available * rate
+            work += work_delta
+            attained += num_gpus * (compute_seconds + overhead_used)
+            if completed:
+                if index != rounds - 1:
+                    raise SimulationError(
+                        f"job {job.job_id} completed in stride round {index + 1} "
+                        f"of {rounds}; the stride was sized past its completion"
+                    )
+                break
+        job.work_done = work
+        job.attained_service = attained
+        job.pending_overhead = pending
+        self._update_app_metrics(job, rate)
+        if completed:
+            job.status = JobStatus.COMPLETED
+            job.completion_time = final_round_start + overhead_used + compute_seconds
+        return completed
+
     def _update_app_metrics(self, job: Job, rate: float) -> None:
         """Push the application-level metrics the paper's schedulers consume."""
-        progress = job.progress_fraction
+        duration = job.duration
+        progress = 1.0 if duration <= 0 else min(1.0, job.work_done / duration)
         # A simple exponentially decaying loss curve: reaches ~1% of its initial
         # value at the job's convergence point and stays flat afterwards.
         convergence_progress = min(1.0, progress / job.convergence_fraction)
         loss = 10.0 * (0.01 ** convergence_progress)
-        job.metrics["loss"] = loss
-        job.metrics["progress"] = progress
+        metrics = job.metrics
+        metrics["loss"] = loss
+        metrics["progress"] = progress
         if rate > 0:
-            job.metrics["iteration_time"] = job.iteration_time / rate
-            job.metrics["throughput"] = rate / job.iteration_time
-        job.metrics["attained_service"] = job.attained_service
+            iteration_time = job.iteration_time
+            metrics["iteration_time"] = iteration_time / rate
+            metrics["throughput"] = rate / iteration_time
+        metrics["attained_service"] = job.attained_service
