@@ -18,6 +18,7 @@ used by the test suite to prove the indexes never drift from the ground truth.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.cluster.gpu_types import GPUType
@@ -50,6 +51,13 @@ class ClusterState:
         self._busy_count = 0
         self._free_healthy_count = 0
         self._free_healthy_by_type: Dict[str, int] = {}
+        #: Compute-factor-weighted capacity counters (V100 = 1.0 per GPU).
+        #: ``_healthy_capacity`` sums every GPU on a healthy node;
+        #: ``_busy_capacity`` sums the assigned GPUs on healthy nodes.  Both
+        #: are maintained by the same mutations as the unit counters, so the
+        #: capacity-weighted utilisation of a heterogeneous cluster is O(1).
+        self._busy_capacity = 0.0
+        self._healthy_capacity = 0.0
         #: Version stamps consumed by the execution model's rate cache: the
         #: membership version bumps on any node add/remove/health change, a
         #: job's allocation version bumps whenever its GPU set changes.  A
@@ -100,6 +108,8 @@ class ClusterState:
         ids = self._node_gpu_ids[gpu.node_id]
         ids.append(gpu.gpu_id)
         ids.sort(key=lambda g: self.gpus[g].local_gpu_id)
+        if not node.failed:
+            self._healthy_capacity += gpu.gpu_type.compute_factor
         if gpu.is_free:
             self._free_by_node[gpu.node_id].add(gpu.gpu_id)
             if not node.failed:
@@ -109,6 +119,8 @@ class ClusterState:
         else:
             self._job_gpu_ids.setdefault(gpu.job_id, set()).add(gpu.gpu_id)
             self._busy_count += 1
+            if not node.failed:
+                self._busy_capacity += gpu.gpu_type.compute_factor
 
     def remove_node(self, node_id: int) -> List[int]:
         """Remove a node (e.g. on permanent failure); returns ids of evicted jobs.
@@ -148,6 +160,7 @@ class ClusterState:
                 self._free_healthy_count -= 1
                 key = gpu_type_key(node.gpu_type)
                 self._free_healthy_by_type[key] -= 1
+                self._healthy_capacity -= node.gpu_type.compute_factor
         del self._node_gpu_ids[node_id]
         del self._free_by_node[node_id]
         del self.nodes[node_id]
@@ -172,6 +185,10 @@ class ClusterState:
             self._free_healthy_by_type[key] = (
                 self._free_healthy_by_type.get(key, 0) - free_here
             )
+            factor = node.gpu_type.compute_factor
+            total_here = len(self._node_gpu_ids[node_id])
+            self._healthy_capacity -= factor * total_here
+            self._busy_capacity -= factor * (total_here - free_here)
             self.membership_version += 1
         return affected
 
@@ -185,6 +202,10 @@ class ClusterState:
         self._free_healthy_count += free_here
         key = gpu_type_key(node.gpu_type)
         self._free_healthy_by_type[key] = self._free_healthy_by_type.get(key, 0) + free_here
+        factor = node.gpu_type.compute_factor
+        total_here = len(self._node_gpu_ids[node_id])
+        self._healthy_capacity += factor * total_here
+        self._busy_capacity += factor * (total_here - free_here)
         self.membership_version += 1
 
     def node(self, node_id: int) -> Node:
@@ -319,6 +340,7 @@ class ClusterState:
             if not node.failed:
                 self._free_healthy_count -= 1
                 self._free_healthy_by_type[gpu_type_key(gpu.gpu_type)] -= 1
+                self._busy_capacity += gpu.gpu_type.compute_factor
 
     def reserve_aux(self, job_id: int, node_id: int, cpus: float, mem_gb: float) -> None:
         """Reserve CPU/memory for a job on a node, tracking it for release.
@@ -347,6 +369,7 @@ class ClusterState:
                 self._free_healthy_count += 1
                 key = gpu_type_key(gpu.gpu_type)
                 self._free_healthy_by_type[key] = self._free_healthy_by_type.get(key, 0) + 1
+                self._busy_capacity -= gpu.gpu_type.compute_factor
             # Defensive: cover aux reserved outside reserve_aux on hosting nodes.
             aux_nodes.add(gpu.node_id)
         for node_id in aux_nodes:
@@ -359,6 +382,26 @@ class ClusterState:
         if not self.gpus:
             return 0.0
         return self._busy_count / len(self.gpus)
+
+    def healthy_capacity(self) -> float:
+        """Compute-factor-weighted capacity of all GPUs on healthy nodes; O(1)."""
+        return self._healthy_capacity
+
+    def busy_capacity(self) -> float:
+        """Compute-factor-weighted capacity of assigned GPUs on healthy nodes; O(1)."""
+        return self._busy_capacity
+
+    def capacity_utilization(self) -> float:
+        """Fraction of the healthy, compute-weighted capacity currently in use.
+
+        Unlike :meth:`utilization` this discounts failed nodes (capacity the
+        scheduler cannot use should not count against it) and weighs each GPU
+        by its generation's compute factor, so an A100 sitting idle costs more
+        than an idle K80 -- the number scenario reports aggregate over time.
+        """
+        if self._healthy_capacity <= 0:
+            return 0.0
+        return self._busy_capacity / self._healthy_capacity
 
     # ------------------------------------------------------------------
     # Tabular view (the Blox GPU dataframe)
@@ -429,11 +472,15 @@ class ClusterState:
         free_healthy = 0
         free_by_type: Dict[str, int] = {}
         job_gpus: Dict[int, Set[int]] = {}
+        healthy_capacity = 0.0
+        busy_capacity = 0.0
         for gpu in self.gpus.values():
             assert gpu.node_id in self.nodes, f"GPU {gpu.gpu_id} on unknown node"
             node = self.nodes[gpu.node_id]
             in_free = gpu.gpu_id in self._free_by_node[gpu.node_id]
             assert in_free == gpu.is_free, f"free index wrong for GPU {gpu.gpu_id}"
+            if not node.failed:
+                healthy_capacity += gpu.gpu_type.compute_factor
             if gpu.is_free:
                 if not node.failed:
                     free_healthy += 1
@@ -442,10 +489,21 @@ class ClusterState:
             else:
                 busy += 1
                 job_gpus.setdefault(gpu.job_id, set()).add(gpu.gpu_id)
+                if not node.failed:
+                    busy_capacity += gpu.gpu_type.compute_factor
         assert busy == self._busy_count, f"busy {busy} != cached {self._busy_count}"
         assert free_healthy == self._free_healthy_count, (
             f"free {free_healthy} != cached {self._free_healthy_count}"
         )
+        # The cached capacities accumulate the same values in a different
+        # order (and bulk multiples on fail/recover), so compare with a
+        # tolerance instead of bit-exactly.
+        assert math.isclose(
+            healthy_capacity, self._healthy_capacity, rel_tol=1e-9, abs_tol=1e-9
+        ), f"healthy capacity {healthy_capacity} != cached {self._healthy_capacity}"
+        assert math.isclose(
+            busy_capacity, self._busy_capacity, rel_tol=1e-9, abs_tol=1e-9
+        ), f"busy capacity {busy_capacity} != cached {self._busy_capacity}"
         cached_by_type = {k: v for k, v in self._free_healthy_by_type.items() if v}
         assert free_by_type == cached_by_type, (
             f"per-type free {free_by_type} != cached {cached_by_type}"

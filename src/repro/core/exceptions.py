@@ -41,8 +41,14 @@ class LeaseError(BloxError):
     """The lease protocol between scheduler and workers was violated."""
 
 
-class TraceFormatError(BloxError, ValueError):
-    """A workload trace file or record could not be parsed."""
+class TraceFormatError(ConfigurationError, ValueError):
+    """A workload trace file or record could not be parsed.
+
+    A malformed trace is a configuration problem (the experiment was composed
+    with bad inputs), so this derives from :class:`ConfigurationError`;
+    ``ValueError`` is kept in the bases for callers that catch parse errors
+    generically.
+    """
 
 
 class SimulationError(BloxError):

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.abstractions import (
     AdmissionPolicy,
+    ClusterManager,
     MetricCollector,
     PlacementPolicy,
     SchedulingPolicy,
@@ -103,12 +104,16 @@ def run_policy(
     cluster: Optional[ClusterState] = None,
     tracked_job_ids: Optional[Sequence[int]] = None,
     max_rounds: int = 200_000,
+    cluster_manager: Optional[ClusterManager] = None,
+    fast_forward: bool = True,
 ) -> SimulationResult:
     """Run one simulation of ``trace`` under ``spec`` on a fresh cluster.
 
     ``tracked_job_ids`` overrides the trace's own tracked window; experiments
     that augment a trace (e.g. spike injection) use it to keep reporting the
-    original steady-state jobs.
+    original steady-state jobs.  ``cluster_manager`` injects scheduled
+    membership dynamics (e.g. a scenario timeline manager); like policy
+    state, managers are stateful, so hand each run a fresh instance.
     """
     if cluster is None:
         cluster = build_cluster(
@@ -129,6 +134,8 @@ def run_policy(
         metric_collectors=metric_collectors,
         tracked_job_ids=list(tracked_job_ids) if tracked_job_ids is not None else trace.tracked_ids(),
         max_rounds=max_rounds,
+        cluster_manager=cluster_manager,
+        fast_forward=fast_forward,
     )
     return simulator.run()
 

@@ -4,7 +4,10 @@ from repro.metrics.summary import (
     average,
     percentile,
     cdf_points,
+    capacity_weighted_utilization,
     jct_summary,
+    scenario_summary,
+    ScenarioSummary,
     SummaryStats,
 )
 from repro.metrics.collector import UtilizationCollector, ApplicationMetricCollector
@@ -13,7 +16,10 @@ __all__ = [
     "average",
     "percentile",
     "cdf_points",
+    "capacity_weighted_utilization",
     "jct_summary",
+    "scenario_summary",
+    "ScenarioSummary",
     "SummaryStats",
     "UtilizationCollector",
     "ApplicationMetricCollector",

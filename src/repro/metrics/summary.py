@@ -60,6 +60,7 @@ class SummaryStats:
     avg_responsiveness: float
     makespan: float
     avg_preemptions: float
+    p99_jct: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -67,6 +68,7 @@ class SummaryStats:
             "avg_jct": self.avg_jct,
             "median_jct": self.median_jct,
             "p95_jct": self.p95_jct,
+            "p99_jct": self.p99_jct,
             "avg_responsiveness": self.avg_responsiveness,
             "makespan": self.makespan,
             "avg_preemptions": self.avg_preemptions,
@@ -94,7 +96,70 @@ def jct_summary(jobs: Sequence[Job], tracked_ids: Optional[Sequence[int]] = None
         avg_jct=average(jcts),
         median_jct=percentile(jcts, 50),
         p95_jct=percentile(jcts, 95),
+        p99_jct=percentile(jcts, 99),
         avg_responsiveness=average(responsiveness),
         makespan=makespan,
         avg_preemptions=average([j.num_preemptions for j in finished]),
+    )
+
+
+def capacity_weighted_utilization(round_log: Sequence[object]) -> float:
+    """Time-integrated busy capacity over time-integrated healthy capacity.
+
+    ``round_log`` is a sequence of round records carrying ``busy_capacity``
+    and ``healthy_capacity`` (see
+    :class:`~repro.simulator.engine.RoundRecord`; duck-typed here to keep
+    this module free of simulator imports).  Weighting by per-round healthy
+    capacity -- rather than averaging per-round ratios -- makes the number
+    robust to rounds where most of the cluster is failed or scaled in: an
+    empty cluster contributes nothing instead of a misleading 0% or 100%.
+    """
+    busy = 0.0
+    healthy = 0.0
+    for record in round_log:
+        busy += record.busy_capacity
+        healthy += record.healthy_capacity
+    if healthy <= 0:
+        return 0.0
+    return busy / healthy
+
+
+@dataclass(frozen=True)
+class ScenarioSummary:
+    """Per-scenario report row: JCT distribution plus churn-facing metrics."""
+
+    stats: SummaryStats
+    preemption_count: int
+    eviction_count: int
+    capacity_weighted_utilization: float
+
+    def as_dict(self) -> dict:
+        out = self.stats.as_dict()
+        out["preemption_count"] = self.preemption_count
+        out["eviction_count"] = self.eviction_count
+        out["capacity_weighted_utilization"] = self.capacity_weighted_utilization
+        return out
+
+
+def scenario_summary(
+    jobs: Sequence[Job],
+    tracked_ids: Optional[Sequence[int]],
+    round_log: Sequence[object],
+    eviction_count: int = 0,
+) -> ScenarioSummary:
+    """Aggregate one scenario run into the metrics the scenario matrix reports.
+
+    ``eviction_count`` is the number of running jobs kicked off their GPUs by
+    cluster events (node failures, scale-in, upgrades), as counted by the
+    simulation engine; ``preemption_count`` additionally includes
+    policy-initiated preemptions.  Both are whole-run totals over *all* jobs
+    (the engine cannot attribute an eviction to the tracked subset), so
+    ``preemption_count >= eviction_count`` always holds; only the JCT
+    statistics honour ``tracked_ids``.
+    """
+    return ScenarioSummary(
+        stats=jct_summary(jobs, tracked_ids),
+        preemption_count=sum(j.num_preemptions for j in jobs),
+        eviction_count=eviction_count,
+        capacity_weighted_utilization=capacity_weighted_utilization(round_log),
     )

@@ -1,0 +1,61 @@
+"""The scenario engine: declarative, deterministic cluster/workload dynamics.
+
+See :mod:`repro.scenarios.spec` for the declarative layer,
+:mod:`repro.scenarios.events` for the concrete event stream,
+:mod:`repro.scenarios.timeline` for the fast-forward-aware cluster manager,
+:mod:`repro.scenarios.registry` for the named scenarios and
+:mod:`repro.scenarios.runner` for the benchmark matrix
+(``python -m repro.scenarios``).
+"""
+
+from repro.scenarios.events import (
+    ClusterEvent,
+    GpuUpgradeEvent,
+    NodeFailureEvent,
+    NodeRecoveryEvent,
+    ScaleInEvent,
+    ScaleOutEvent,
+)
+from repro.scenarios.registry import SCENARIOS, get_scenario, scenario_names
+from repro.scenarios.spec import (
+    BernoulliChurn,
+    CompiledScenario,
+    FailNodes,
+    LoadSpike,
+    Maintenance,
+    RecoverNodes,
+    ScaleIn,
+    ScaleOut,
+    ScenarioSpec,
+    SpotWave,
+    TimelineEntry,
+    UpgradeGpus,
+    WorkloadSpec,
+)
+from repro.scenarios.timeline import TimelineClusterManager
+
+__all__ = [
+    "ClusterEvent",
+    "NodeFailureEvent",
+    "NodeRecoveryEvent",
+    "ScaleOutEvent",
+    "ScaleInEvent",
+    "GpuUpgradeEvent",
+    "TimelineClusterManager",
+    "TimelineEntry",
+    "FailNodes",
+    "RecoverNodes",
+    "ScaleOut",
+    "ScaleIn",
+    "UpgradeGpus",
+    "Maintenance",
+    "SpotWave",
+    "BernoulliChurn",
+    "LoadSpike",
+    "WorkloadSpec",
+    "ScenarioSpec",
+    "CompiledScenario",
+    "SCENARIOS",
+    "get_scenario",
+    "scenario_names",
+]

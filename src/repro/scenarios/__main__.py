@@ -1,0 +1,70 @@
+"""CLI entry point: ``python -m repro.scenarios [--smoke] [--out PATH]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.scenarios.registry import scenario_names
+from repro.scenarios.runner import SCENARIO_SEED, run_scenario_matrix
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description=(
+            "Run the policy x placement x scenario matrix (fast-forward vs. "
+            "per-round stepping, schedule-parity checked)."
+        ),
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI configuration: 2 policies x 2 churn-heavy scenarios",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_scenarios.json",
+        help="output JSON path (default: BENCH_scenarios.json); '-' to skip writing",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=SCENARIO_SEED,
+        help=f"scenario compilation seed (default: {SCENARIO_SEED})",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        choices=scenario_names(),
+        help="run only the named scenario(s); repeatable",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help="worker processes for the sweep (default: one per task, capped at CPUs)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_scenario_matrix(
+        smoke=args.smoke,
+        seed=args.seed,
+        scenarios=args.scenario,
+        processes=args.processes,
+    )
+    if args.out != "-":
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    json.dump(report, sys.stdout, indent=2)
+    print()
+    if not report["all_schedule_parity"]:
+        print("SCHEDULE PARITY FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,216 @@
+"""Named scenarios: the shapes of cluster/workload dynamics we ship.
+
+Each entry is a builder returning a fully declarative
+:class:`~repro.scenarios.spec.ScenarioSpec`; compile one with a seed to get
+its deterministic event stream.  ``smoke=True`` yields a smaller cluster and
+trace with the same dynamic shape, used by CI and the test suite.
+
+Sizing note: the Philly demand mix goes up to 16-GPU jobs (4 nodes).  Every
+scenario keeps *permanent* capacity at >= 4 healthy 4-GPU nodes (scale-in
+never cuts below that), and every failure -- storms, spot waves, maintenance,
+Bernoulli churn -- carries a scheduled or probabilistic recovery, so churn
+may transiently dip capacity below a 16-GPU gang (smoke failure-storm can
+briefly hold 3 healthy nodes when its two waves sample disjoint targets) but
+the job always becomes placeable again and every run terminates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.cluster.builder import ClusterSpec
+from repro.core.exceptions import ConfigurationError
+from repro.scenarios.spec import (
+    BernoulliChurn,
+    FailNodes,
+    LoadSpike,
+    Maintenance,
+    ScaleIn,
+    ScaleOut,
+    ScenarioSpec,
+    SpotWave,
+    UpgradeGpus,
+    WorkloadSpec,
+)
+
+__all__ = ["SCENARIOS", "SMOKE_SCENARIOS", "get_scenario", "scenario_names"]
+
+HOUR = 3600.0
+
+
+def _cluster(smoke: bool) -> ClusterSpec:
+    return ClusterSpec(num_nodes=6 if smoke else 16, gpus_per_node=4, gpu_type="v100")
+
+
+def _workload(smoke: bool) -> WorkloadSpec:
+    if smoke:
+        return WorkloadSpec(generator="philly", num_jobs=30, jobs_per_hour=6.0)
+    return WorkloadSpec(generator="philly", num_jobs=120, jobs_per_hour=8.0)
+
+
+def _steady(smoke: bool) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="steady",
+        cluster=_cluster(smoke),
+        workload=_workload(smoke),
+        description="Static cluster, the paper's default setting; control cell.",
+    )
+
+
+def _diurnal_spike(smoke: bool) -> ScenarioSpec:
+    spikes = LoadSpike(
+        at=1 * HOUR if smoke else 5 * HOUR,
+        num_jobs=8 if smoke else 20,
+        duration_seconds=HOUR,
+        repeat=2,
+        period=2 * HOUR if smoke else 6 * HOUR,
+    )
+    return ScenarioSpec(
+        name="diurnal-spike",
+        cluster=_cluster(smoke),
+        workload=_workload(smoke),
+        timeline=(spikes,),
+        description="Short-job load spikes recurring on a daily rhythm (§5.1 style).",
+    )
+
+
+def _failure_storm(smoke: bool) -> ScenarioSpec:
+    first = 1 * HOUR if smoke else 4 * HOUR
+    return ScenarioSpec(
+        name="failure-storm",
+        cluster=_cluster(smoke),
+        workload=_workload(smoke),
+        timeline=(
+            FailNodes(at=first, fraction=0.25, recover_after=2 * HOUR),
+            FailNodes(at=first + 0.5 * HOUR, fraction=0.2, recover_after=2 * HOUR),
+        ),
+        description="Correlated failure burst taking out ~40% of nodes, staggered recovery.",
+    )
+
+
+def _spot_market(smoke: bool) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="spot-market",
+        cluster=_cluster(smoke),
+        workload=_workload(smoke),
+        timeline=(
+            SpotWave(
+                at=1 * HOUR if smoke else 2 * HOUR,
+                fraction=0.25,
+                outage=HOUR,
+                period=2 * HOUR if smoke else 4 * HOUR,
+                repeat=2 if smoke else 3,
+            ),
+        ),
+        description="Periodic spot reclamation waves: a quarter of the pool vanishes, returns.",
+    )
+
+
+def _rolling_upgrade(smoke: bool) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="rolling-upgrade",
+        cluster=_cluster(smoke),
+        workload=_workload(smoke),
+        timeline=(
+            UpgradeGpus(
+                at=1 * HOUR if smoke else 3 * HOUR,
+                fraction=0.5,
+                gpu_type="a100",
+                stagger=0.5 * HOUR,
+            ),
+        ),
+        description="Half the fleet upgraded to A100s one node at a time.",
+    )
+
+
+def _hetero_drift(smoke: bool) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="hetero-drift",
+        cluster=_cluster(smoke),
+        workload=_workload(smoke),
+        timeline=(
+            ScaleOut(at=1 * HOUR if smoke else 4 * HOUR, num_nodes=2 if smoke else 4, gpu_type="a100"),
+            ScaleOut(at=3 * HOUR if smoke else 9 * HOUR, num_nodes=2 if smoke else 4, gpu_type="a100", network_bw_gbps=20.0),
+        ),
+        description="Cluster drifts heterogeneous as newer GPU generations join.",
+    )
+
+
+def _scale_cycle(smoke: bool) -> ScenarioSpec:
+    if smoke:
+        timeline = (
+            ScaleOut(at=1 * HOUR, num_nodes=4),
+            ScaleIn(at=3 * HOUR, num_nodes=4),
+        )
+    else:
+        timeline = (
+            ScaleOut(at=2 * HOUR, num_nodes=8),
+            ScaleIn(at=8 * HOUR, num_nodes=8),
+            ScaleOut(at=11 * HOUR, num_nodes=4),
+            ScaleIn(at=14 * HOUR, num_nodes=4),
+        )
+    return ScenarioSpec(
+        name="scale-cycle",
+        cluster=_cluster(smoke),
+        workload=_workload(smoke),
+        timeline=timeline,
+        description="Elastic capacity: scale-out under load, newest nodes reclaimed later.",
+    )
+
+
+def _maintenance_window(smoke: bool) -> ScenarioSpec:
+    first = 1 * HOUR if smoke else 5 * HOUR
+    second = 3 * HOUR if smoke else 10 * HOUR
+    return ScenarioSpec(
+        name="maintenance-window",
+        cluster=_cluster(smoke),
+        workload=_workload(smoke),
+        timeline=(
+            Maintenance(start=first, duration=1.5 * HOUR, fraction=0.25),
+            Maintenance(start=second, duration=1.5 * HOUR, fraction=0.25),
+        ),
+        description="Planned rolling maintenance: a quarter of nodes down per window.",
+    )
+
+
+def _bernoulli_churn(smoke: bool) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="bernoulli-churn",
+        cluster=_cluster(smoke),
+        workload=_workload(smoke),
+        timeline=(
+            BernoulliChurn(
+                failure_prob=0.004 if smoke else 0.002,
+                recovery_prob=0.05,
+                horizon_rounds=100 if smoke else 300,
+            ),
+        ),
+        description="The classic FailureInjector process, pre-sampled into a timeline.",
+    )
+
+
+SCENARIOS: Dict[str, Callable[[bool], ScenarioSpec]] = {
+    "steady": _steady,
+    "diurnal-spike": _diurnal_spike,
+    "failure-storm": _failure_storm,
+    "spot-market": _spot_market,
+    "rolling-upgrade": _rolling_upgrade,
+    "hetero-drift": _hetero_drift,
+    "scale-cycle": _scale_cycle,
+    "maintenance-window": _maintenance_window,
+    "bernoulli-churn": _bernoulli_churn,
+}
+
+#: The churn-heavy subset CI exercises (2 policies x 2 scenarios).
+SMOKE_SCENARIOS = ("failure-storm", "scale-cycle")
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIOS)
+
+
+def get_scenario(name: str, smoke: bool = False) -> ScenarioSpec:
+    if name not in SCENARIOS:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ConfigurationError(f"unknown scenario {name!r}; known scenarios: {known}")
+    return SCENARIOS[name](smoke)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -45,6 +46,12 @@ class RoundRecord:
     utilization: float
     scheduler_name: str
     admission_name: str
+    #: Compute-weighted capacity in use / available on healthy nodes this
+    #: round (O(1) cached counters); scenario reports integrate these over
+    #: time into a capacity-weighted utilisation that stays meaningful while
+    #: nodes fail, recover or change GPU generation mid-run.
+    busy_capacity: float = 0.0
+    healthy_capacity: float = 0.0
 
 
 @dataclass
@@ -57,6 +64,13 @@ class SimulationResult:
     rounds: int
     end_time: float
     round_log: List[RoundRecord] = field(default_factory=list)
+    #: Wall-clock seconds :meth:`Simulator.run` took; lets sweep workers
+    #: report rounds/s without timing around the process boundary.  Never
+    #: part of parity comparisons.
+    wall_time_s: float = 0.0
+    #: Running jobs forced off their GPUs by cluster events (failures,
+    #: scale-in, upgrades) -- as opposed to policy-initiated preemptions.
+    eviction_count: int = 0
 
     # ------------------------------------------------------------------
     # Job views
@@ -252,6 +266,8 @@ class Simulator:
             or self.scheduling_policy.name,
             admission_name=getattr(self.admission_policy, "current_name", None)
             or self.admission_policy.name,
+            busy_capacity=self.cluster_state.busy_capacity(),
+            healthy_capacity=self.cluster_state.healthy_capacity(),
         )
 
     # ------------------------------------------------------------------
@@ -650,6 +666,8 @@ class Simulator:
         mgr = self.manager
         round_log: List[RoundRecord] = []
         finished = False
+        eviction_count = 0
+        wall_start = time.perf_counter()
 
         while mgr.round_number < self.max_rounds:
             # 1. Cluster membership changes (failures force a reschedule of jobs).
@@ -659,6 +677,7 @@ class Simulator:
                     job = self.job_state.get(job_id)
                     if job.status == JobStatus.RUNNING:
                         mgr.preemptor.preempt(job, self.cluster_state, mgr.current_time)
+                        eviction_count += 1
 
             # 2./3. Progress from the previous round, then free completed jobs.
             mgr.update_metrics(self.cluster_state, self.job_state)
@@ -715,6 +734,8 @@ class Simulator:
             rounds=mgr.round_number,
             end_time=mgr.current_time,
             round_log=round_log,
+            wall_time_s=time.perf_counter() - wall_start,
+            eviction_count=eviction_count,
         )
 
 

@@ -5,7 +5,7 @@ from repro.workloads.trace import Trace
 from repro.workloads.philly import PhillyTraceGenerator, generate_philly_trace
 from repro.workloads.pollux_trace import generate_pollux_trace
 from repro.workloads.tiresias_trace import generate_tiresias_trace
-from repro.workloads.bursty import add_daily_spike, make_bursty_trace
+from repro.workloads.bursty import add_daily_spike, add_spike, make_bursty_trace
 from repro.workloads.parsers import load_trace_csv, save_trace_csv
 from repro.workloads.convergence import assign_convergence_profiles
 
@@ -20,6 +20,7 @@ __all__ = [
     "generate_pollux_trace",
     "generate_tiresias_trace",
     "add_daily_spike",
+    "add_spike",
     "make_bursty_trace",
     "load_trace_csv",
     "save_trace_csv",

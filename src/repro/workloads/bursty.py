@@ -41,6 +41,21 @@ def _make_short_job(job_id: int, arrival: float, rng: random.Random, min_minutes
     )
 
 
+def _kept_tracking(trace: Trace):
+    """Tracked window of the original trace, carried by job id.
+
+    Injected spike jobs interleave with the original arrivals, so an
+    index-based ``tracked_range`` would re-target to different jobs (possibly
+    the spikes themselves) after the merged list is re-sorted; pinning the
+    original tracked *ids* keeps the reported population identical.  ``None``
+    when the original trace tracked everything -- the spiked trace then
+    tracks everything too, spikes included.
+    """
+    if trace.tracked_range is None and trace.tracked_job_ids is None:
+        return None
+    return tuple(trace.tracked_ids())
+
+
 def add_daily_spike(
     trace: Trace,
     jobs_per_spike: int = 16,
@@ -65,7 +80,37 @@ def add_daily_spike(
                 jobs.append(_make_short_job(next_id, arrival, rng, min_minutes, max_minutes))
                 next_id += 1
         day += 1
-    return Trace(jobs=jobs, name=f"{trace.name}-spiked", tracked_range=trace.tracked_range)
+    return Trace(jobs=jobs, name=f"{trace.name}-spiked", tracked_job_ids=_kept_tracking(trace))
+
+
+def add_spike(
+    trace: Trace,
+    start_time: float,
+    num_jobs: int,
+    duration_seconds: float = 3600.0,
+    seed: int = 0,
+    min_minutes: float = 10.0,
+    max_minutes: float = 60.0,
+) -> Trace:
+    """Inject one load spike: ``num_jobs`` short jobs arriving in a window.
+
+    The one-shot building block behind scenario load-spike timelines (see
+    :mod:`repro.scenarios.spec`): arrivals are sampled uniformly in
+    ``[start_time, start_time + duration_seconds)`` from ``seed`` alone, so
+    the same call always extends the trace with the same jobs.
+    """
+    if num_jobs < 0:
+        raise ConfigurationError("num_jobs must be >= 0")
+    if duration_seconds <= 0:
+        raise ConfigurationError("duration_seconds must be > 0")
+    rng = random.Random(seed)
+    jobs: List[Job] = trace.fresh_jobs()
+    next_id = max(j.job_id for j in jobs) + 1
+    for _ in range(num_jobs):
+        arrival = start_time + rng.uniform(0.0, duration_seconds)
+        jobs.append(_make_short_job(next_id, arrival, rng, min_minutes, max_minutes))
+        next_id += 1
+    return Trace(jobs=jobs, name=f"{trace.name}-spike", tracked_job_ids=_kept_tracking(trace))
 
 
 def make_bursty_trace(

@@ -11,15 +11,41 @@ catalogue on load.
 from __future__ import annotations
 
 import csv
+import math
 from pathlib import Path
 from typing import List, Union
 
-from repro.core.exceptions import TraceFormatError
+from repro.core.exceptions import ConfigurationError, TraceFormatError
 from repro.core.job import Job
 from repro.workloads.models import PHILLY_MODELS, get_model
 from repro.workloads.trace import Trace
 
 REQUIRED_COLUMNS = ("job_id", "arrival_time", "num_gpus", "duration", "model_name")
+
+
+def _parse_int(row: dict, column: str) -> int:
+    """Parse an integer cell, naming the column on failure."""
+    raw = row[column]
+    if raw is None:
+        raise TraceFormatError(f"column {column!r} is missing a value")
+    try:
+        return int(str(raw).strip())
+    except ValueError:
+        raise TraceFormatError(f"column {column!r} has non-integer value {raw!r}") from None
+
+
+def _parse_float(row: dict, column: str) -> float:
+    """Parse a finite float cell, naming the column on failure."""
+    raw = row[column]
+    if raw is None:
+        raise TraceFormatError(f"column {column!r} is missing a value")
+    try:
+        value = float(str(raw).strip())
+    except ValueError:
+        raise TraceFormatError(f"column {column!r} has non-numeric value {raw!r}") from None
+    if not math.isfinite(value):
+        raise TraceFormatError(f"column {column!r} has non-finite value {raw!r}")
+    return value
 
 
 def save_trace_csv(trace: Trace, path: Union[str, Path]) -> Path:
@@ -53,14 +79,30 @@ def load_trace_csv(path: Union[str, Path], name: str = "") -> Trace:
             )
         for row_number, row in enumerate(reader, start=2):
             try:
-                model_name = row["model_name"].strip().lower()
+                model_cell = row["model_name"]
+                model_name = (model_cell or "").strip().lower()
+                job_id = _parse_int(row, "job_id")
+                arrival_time = _parse_float(row, "arrival_time")
+                num_gpus = _parse_int(row, "num_gpus")
+                duration = _parse_float(row, "duration")
+                if arrival_time < 0:
+                    raise TraceFormatError(
+                        f"column 'arrival_time' must be >= 0, got {arrival_time}"
+                    )
+                # Job.__post_init__ validates num_gpus/duration too, but
+                # checking here names the offending column instead of only
+                # the (possibly also malformed) job id.
+                if num_gpus < 1:
+                    raise TraceFormatError(f"column 'num_gpus' must be >= 1, got {num_gpus}")
+                if duration <= 0:
+                    raise TraceFormatError(f"column 'duration' must be > 0, got {duration}")
                 if model_name in PHILLY_MODELS:
                     profile = get_model(model_name)
                     job = Job(
-                        job_id=int(row["job_id"]),
-                        arrival_time=float(row["arrival_time"]),
-                        num_gpus=int(row["num_gpus"]),
-                        duration=float(row["duration"]),
+                        job_id=job_id,
+                        arrival_time=arrival_time,
+                        num_gpus=num_gpus,
+                        duration=duration,
                         model_name=profile.name,
                         iteration_time=profile.iteration_time,
                         scaling=profile.scaling_profile(),
@@ -73,13 +115,16 @@ def load_trace_csv(path: Union[str, Path], name: str = "") -> Trace:
                     )
                 else:
                     job = Job(
-                        job_id=int(row["job_id"]),
-                        arrival_time=float(row["arrival_time"]),
-                        num_gpus=int(row["num_gpus"]),
-                        duration=float(row["duration"]),
+                        job_id=job_id,
+                        arrival_time=arrival_time,
+                        num_gpus=num_gpus,
+                        duration=duration,
                         model_name=model_name or "generic",
                     )
-            except (KeyError, ValueError) as exc:
+            except (KeyError, ValueError, ConfigurationError) as exc:
+                # KeyError: a short row left a required cell out entirely.
+                # ConfigurationError: Job's own validation (and TraceFormatError
+                # itself) -- re-raised with the file/row context attached.
                 raise TraceFormatError(f"{path}:{row_number}: could not parse row: {exc}") from exc
             jobs.append(job)
     if not jobs:

@@ -23,6 +23,11 @@ class Trace:
     jobs: List[Job]
     name: str = "trace"
     tracked_range: Optional[tuple] = None  # (start_index, end_index) into the job list
+    #: Explicit tracked job ids.  Takes precedence over ``tracked_range``;
+    #: used by trace transformations (spike injection) whose added jobs
+    #: interleave with the original arrivals, where an index window would
+    #: silently re-target to different jobs after the re-sort.
+    tracked_job_ids: Optional[tuple] = None
 
     def __post_init__(self) -> None:
         if not self.jobs:
@@ -33,6 +38,13 @@ class Trace:
             if not (0 <= start < end <= len(self.jobs)):
                 raise ConfigurationError(
                     f"tracked_range {self.tracked_range} out of bounds for {len(self.jobs)} jobs"
+                )
+        if self.tracked_job_ids is not None:
+            known = {job.job_id for job in self.jobs}
+            missing = [i for i in self.tracked_job_ids if i not in known]
+            if missing:
+                raise ConfigurationError(
+                    f"tracked_job_ids reference jobs not in the trace: {missing}"
                 )
 
     def __len__(self) -> int:
@@ -49,6 +61,8 @@ class Trace:
 
     def tracked_ids(self) -> List[int]:
         """Ids of the jobs whose JCT/responsiveness the experiment reports."""
+        if self.tracked_job_ids is not None:
+            return list(self.tracked_job_ids)
         if self.tracked_range is None:
             return [job.job_id for job in self.jobs]
         start, end = self.tracked_range

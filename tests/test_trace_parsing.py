@@ -1,0 +1,77 @@
+"""Trace-parser hardening: malformed rows fail loudly with row context."""
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError, TraceFormatError
+from repro.workloads.parsers import load_trace_csv, save_trace_csv
+from repro.workloads.philly import generate_philly_trace
+
+HEADER = "job_id,arrival_time,num_gpus,duration,model_name\n"
+
+
+def _write(tmp_path, body, name="trace.csv"):
+    path = tmp_path / name
+    path.write_text(HEADER + body)
+    return path
+
+
+def test_round_trip(tmp_path):
+    trace = generate_philly_trace(num_jobs=10, jobs_per_hour=6.0, seed=4)
+    path = save_trace_csv(trace, tmp_path / "out.csv")
+    loaded = load_trace_csv(path)
+    assert len(loaded) == 10
+    assert [j.job_id for j in loaded.jobs] == [j.job_id for j in trace.jobs]
+
+
+def test_trace_format_error_is_a_configuration_error():
+    assert issubclass(TraceFormatError, ConfigurationError)
+    assert issubclass(TraceFormatError, ValueError)
+
+
+@pytest.mark.parametrize(
+    "row,fragment",
+    [
+        ("x,0.0,1,100.0,generic", "job_id"),
+        ("1,not-a-time,1,100.0,generic", "arrival_time"),
+        ("1,0.0,zero,100.0,generic", "num_gpus"),
+        ("1,0.0,1,nan,generic", "duration"),
+        ("1,0.0,1,inf,generic", "duration"),
+        ("1,-5.0,1,100.0,generic", "arrival_time"),
+        ("1,0.0,0,100.0,generic", "num_gpus"),
+        ("1,0.0,-2,100.0,generic", "num_gpus"),
+        ("1,0.0,1,0.0,generic", "duration"),
+        ("1,0.0,1,-3.0,generic", "duration"),
+    ],
+)
+def test_malformed_rows_raise_with_row_context(tmp_path, row, fragment):
+    path = _write(tmp_path, "0,0.0,1,50.0,generic\n" + row + "\n")
+    with pytest.raises(TraceFormatError) as excinfo:
+        load_trace_csv(path)
+    message = str(excinfo.value)
+    assert ":3:" in message  # header is line 1, good row line 2, bad row line 3
+    assert fragment in message
+
+
+def test_short_row_raises_with_row_context(tmp_path):
+    path = _write(tmp_path, "0,0.0\n")
+    with pytest.raises(TraceFormatError) as excinfo:
+        load_trace_csv(path)
+    assert ":2:" in str(excinfo.value)
+
+
+def test_missing_columns_rejected(tmp_path):
+    path = tmp_path / "bad.csv"
+    path.write_text("job_id,arrival_time\n1,0.0\n")
+    with pytest.raises(TraceFormatError):
+        load_trace_csv(path)
+
+
+def test_missing_file_rejected(tmp_path):
+    with pytest.raises(TraceFormatError):
+        load_trace_csv(tmp_path / "absent.csv")
+
+
+def test_empty_trace_rejected(tmp_path):
+    path = _write(tmp_path, "")
+    with pytest.raises(TraceFormatError):
+        load_trace_csv(path)
