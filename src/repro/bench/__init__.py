@@ -15,9 +15,16 @@ Every comparison carries a schedule-parity verdict proving the paired runs
 made identical scheduling decisions, so the reported speedups are pure
 hot-path work.  The JSON is committed so the perf trajectory is measurable PR
 over PR.
+
+``python -m repro.bench --runtime`` instead runs the **runtime** benchmark
+(``BENCH_runtime.json``): every registry scenario through the deployment
+path (CentralScheduler, fast-forward on and off) and plain simulation with
+identical deterministic overheads -- schedule-parity checked -- plus the
+Fig. 19 lease-scaling sweep comparing central vs optimistic renewal.
 """
 
 from repro.bench.core_bench import run_core_bench
 from repro.bench.policy_bench import run_policy_bench
+from repro.bench.runtime_bench import run_runtime_bench
 
-__all__ = ["run_core_bench", "run_policy_bench"]
+__all__ = ["run_core_bench", "run_policy_bench", "run_runtime_bench"]

@@ -1,4 +1,4 @@
-"""CLI entry point: ``python -m repro.bench [--smoke] [--out PATH]``."""
+"""CLI entry point: ``python -m repro.bench [--smoke] [--runtime] [--out PATH]``."""
 
 from __future__ import annotations
 
@@ -7,22 +7,39 @@ import json
 import sys
 
 from repro.bench.core_bench import run_core_bench
+from repro.bench.runtime_bench import run_runtime_bench
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
-        description="Run the scheduler-core benchmark (baseline vs. indexed).",
+        description=(
+            "Run the scheduler-core benchmark (baseline vs. indexed), or -- "
+            "with --runtime -- the deployment-path benchmark (CentralScheduler "
+            "vs. plain simulation plus the Fig. 19 lease sweep)."
+        ),
     )
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="small 32-GPU configuration for CI (seconds instead of minutes)",
+        help="small configuration for CI (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--runtime",
+        action="store_true",
+        help=(
+            "run the runtime benchmark instead: deployment vs simulation "
+            "rounds/s and lease latency across the scenario registry, "
+            "schedule-parity checked (writes BENCH_runtime.json)"
+        ),
     )
     parser.add_argument(
         "--out",
-        default="BENCH_core.json",
-        help="output JSON path (default: BENCH_core.json); '-' to skip writing",
+        default=None,
+        help=(
+            "output JSON path (default: BENCH_core.json, or BENCH_runtime.json "
+            "with --runtime); '-' to skip writing"
+        ),
     )
     parser.add_argument(
         "--no-policies",
@@ -30,12 +47,25 @@ def main(argv=None) -> int:
         help="skip the scheduling-policy x placement benchmark matrix",
     )
     args = parser.parse_args(argv)
-    out_path = None if args.out == "-" else args.out
-    report = run_core_bench(
-        smoke=args.smoke, out_path=out_path, policies=not args.no_policies
-    )
+    default_out = "BENCH_runtime.json" if args.runtime else "BENCH_core.json"
+    out_path = None if args.out == "-" else (args.out or default_out)
+    if args.runtime:
+        report = run_runtime_bench(smoke=args.smoke, out_path=out_path)
+    else:
+        report = run_core_bench(
+            smoke=args.smoke, out_path=out_path, policies=not args.no_policies
+        )
     json.dump(report, sys.stdout, indent=2)
     print()
+    if args.runtime:
+        failed = []
+        if not report["all_schedule_parity"]:
+            failed.append("schedule parity")
+        claims = report["lease_scaling"]["claims"]
+        failed.extend(f"lease claim {name}" for name, ok in claims.items() if not ok)
+        if failed:
+            print(f"runtime bench FAILED: {', '.join(failed)}", file=sys.stderr)
+            return 1
     return 0
 
 

@@ -14,8 +14,17 @@ simulation and deployment" property can be exercised and measured.
 from repro.runtime.rpc import InMemoryRpcChannel, RpcCostModel
 from repro.runtime.worker_manager import WorkerManager
 from repro.runtime.client_library import BloxDataLoader, WorkerMetricsCollector
-from repro.runtime.lease import CentralLeaseManager, OptimisticLeaseManager
-from repro.runtime.central_scheduler import CentralScheduler
+from repro.runtime.lease import (
+    CentralLeaseManager,
+    OptimisticLeaseManager,
+    build_lease_setup,
+)
+from repro.runtime.metrics import WorkerMetricsAggregator
+from repro.runtime.central_scheduler import (
+    CentralScheduler,
+    DeploymentBloxManager,
+    MembershipSyncManager,
+)
 
 __all__ = [
     "InMemoryRpcChannel",
@@ -23,7 +32,11 @@ __all__ = [
     "WorkerManager",
     "BloxDataLoader",
     "WorkerMetricsCollector",
+    "WorkerMetricsAggregator",
     "CentralLeaseManager",
     "OptimisticLeaseManager",
+    "build_lease_setup",
     "CentralScheduler",
+    "DeploymentBloxManager",
+    "MembershipSyncManager",
 ]

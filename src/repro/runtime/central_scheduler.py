@@ -8,29 +8,52 @@ job leases are managed through either the central or the optimistic lease
 protocol.  Execution itself is still advanced by the shared execution model
 (optionally with the cluster overhead model that adds real-run jitter), which
 is what the fidelity experiment (Fig. 18) compares against plain simulation.
+
+Three pieces tie the lease lifecycle and cluster dynamics together:
+
+* :class:`DeploymentBloxManager` -- the loop's prune step releases every
+  finished job's lease and clears its worker-local state
+  (``WorkerManager.job_finished``), so completion -- not just preemption --
+  retires leases;
+* :class:`MembershipSyncManager` -- wraps any
+  :class:`~repro.core.abstractions.ClusterManager` (e.g. a compiled scenario
+  timeline) and reconciles the WorkerManager registry after every membership
+  update, so scale-out registers fresh workers and scale-in deregisters dead
+  ones instead of the first ``ScaleOut`` raising ``LeaseError``;
+* :class:`~repro.runtime.metrics.WorkerMetricsAggregator` -- wires the
+  worker-side metric stores (``push_metric``/``pull_metrics``) into the
+  shared :class:`~repro.core.abstractions.MetricCollector` abstraction.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.abstractions import (
     AdmissionPolicy,
+    ClusterManager,
     MetricCollector,
     PlacementPolicy,
     SchedulingPolicy,
 )
+from repro.core.blox_manager import BloxManager
 from repro.core.cluster_state import ClusterState
 from repro.core.exceptions import ConfigurationError
 from repro.core.job import Job
+from repro.core.job_state import JobState
 from repro.core.mechanisms import SimulatedLauncher, SimulatedPreemption
-from repro.core.blox_manager import BloxManager
+from repro.runtime.lease import (
+    CentralLeaseManager,
+    OptimisticLeaseManager,
+    _LeaseManagerBase,
+)
+from repro.runtime.metrics import WorkerMetricsAggregator
+from repro.runtime.rpc import InMemoryRpcChannel, RpcCostModel
+from repro.runtime.worker_manager import WorkerManager
 from repro.simulator.engine import SimulationResult, Simulator
 from repro.simulator.execution import ExecutionModel
 from repro.simulator.overheads import ClusterOverheadModel, OverheadModel
-from repro.runtime.lease import CentralLeaseManager, OptimisticLeaseManager
-from repro.runtime.rpc import InMemoryRpcChannel, RpcCostModel
-from repro.runtime.worker_manager import WorkerManager
 
 
 class RpcLauncher(SimulatedLauncher):
@@ -65,6 +88,68 @@ class RpcPreemption(SimulatedPreemption):
         super().preempt(job, cluster_state, current_time)
 
 
+class DeploymentBloxManager(BloxManager):
+    """BloxManager whose prune step retires finished jobs' leases.
+
+    Every path through the engine -- full rounds, light fast-forward rounds,
+    steady strides and the gang chain -- prunes through this method, so a
+    completed job always releases its lease and clears worker-local state in
+    the same round it frees its GPUs.
+    """
+
+    def __init__(self, *args, lease_manager: Optional[_LeaseManagerBase] = None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if lease_manager is None:
+            raise ConfigurationError("DeploymentBloxManager needs a lease_manager")
+        self.lease_manager = lease_manager
+
+    def prune_completed_jobs(
+        self, cluster_state: ClusterState, job_state: JobState
+    ) -> List[Job]:
+        finished = super().prune_completed_jobs(cluster_state, job_state)
+        for job in finished:
+            self.lease_manager.complete(job.job_id)
+        return finished
+
+
+class MembershipSyncManager(ClusterManager):
+    """Wraps a ClusterManager and keeps the worker registry membership-true.
+
+    After the inner manager applies its events (failures, recoveries,
+    scale-out/in, upgrades), the lease manager's registry is reconciled with
+    the cluster's node set.  ``next_event_time`` delegates, so scenario
+    timelines keep fast-forward active through the deployment path; an inner
+    manager that overrides ``update`` without ``next_event_time`` (the
+    pre-migration contract) gets skipping disabled explicitly, mirroring the
+    engine's own migration check, which this wrapper would otherwise mask.
+    """
+
+    name = "membership-sync"
+
+    def __init__(
+        self,
+        inner: Optional[ClusterManager],
+        lease_manager: _LeaseManagerBase,
+    ) -> None:
+        self.inner = inner if inner is not None else ClusterManager()
+        self.lease_manager = lease_manager
+        inner_cls = type(self.inner)
+        self._inner_unmigrated = (
+            inner_cls.update is not ClusterManager.update
+            and inner_cls.next_event_time is ClusterManager.next_event_time
+        )
+
+    def update(self, cluster_state: ClusterState, current_time: float) -> List[int]:
+        affected = self.inner.update(cluster_state, current_time)
+        self.lease_manager.sync_membership(cluster_state)
+        return affected
+
+    def next_event_time(self, current_time: float) -> Optional[float]:
+        if self._inner_unmigrated:
+            return current_time
+        return self.inner.next_event_time(current_time)
+
+
 class CentralScheduler:
     """Runs the Blox loop against WorkerManagers over RPC ("cluster mode")."""
 
@@ -82,23 +167,35 @@ class CentralScheduler:
         rpc_cost_model: RpcCostModel = RpcCostModel(),
         tracked_job_ids: Optional[Sequence[int]] = None,
         max_rounds: int = 200_000,
+        cluster_manager: Optional[ClusterManager] = None,
+        fast_forward: bool = True,
+        collect_worker_metrics: bool = True,
     ) -> None:
         if lease_protocol not in ("central", "optimistic"):
             raise ConfigurationError(f"unknown lease protocol {lease_protocol!r}")
         self.cluster_state = cluster_state
         self.channel = InMemoryRpcChannel(rpc_cost_model)
-        self.workers: Dict[int, WorkerManager] = {
-            node_id: WorkerManager(node_id=node_id, channel=self.channel)
-            for node_id in cluster_state.nodes
-        }
+        initial_workers = [
+            WorkerManager(node_id=node_id, channel=self.channel)
+            for node_id in sorted(cluster_state.nodes)
+        ]
         manager_cls = CentralLeaseManager if lease_protocol == "central" else OptimisticLeaseManager
-        self.lease_manager = manager_cls(list(self.workers.values()), self.channel)
+        self.lease_manager = manager_cls(initial_workers, self.channel)
 
-        # Cluster runs pay real launch/preemption overheads plus jitter.
+        # Cluster runs pay real launch/preemption overheads plus jitter by
+        # default; fidelity/parity experiments pass a deterministic model.
         overheads = overhead_model if overhead_model is not None else ClusterOverheadModel()
         execution = ExecutionModel(overhead_model=overheads)
         launcher = RpcLauncher(overheads, self.lease_manager, cluster_state)
         self.preemptor = RpcPreemption(overheads, self.lease_manager)
+
+        collectors = list(metric_collectors)
+        self.worker_metrics: Optional[WorkerMetricsAggregator] = None
+        if collect_worker_metrics:
+            self.worker_metrics = WorkerMetricsAggregator(
+                self.channel, self.lease_manager.workers
+            )
+            collectors.append(self.worker_metrics)
 
         self._simulator = Simulator(
             cluster_state=cluster_state,
@@ -108,9 +205,14 @@ class CentralScheduler:
             admission_policy=admission_policy,
             round_duration=round_duration,
             execution_model=execution,
-            metric_collectors=metric_collectors,
+            metric_collectors=collectors,
             tracked_job_ids=tracked_job_ids,
             max_rounds=max_rounds,
+            cluster_manager=MembershipSyncManager(cluster_manager, self.lease_manager),
+            fast_forward=fast_forward,
+            manager_factory=partial(
+                DeploymentBloxManager, lease_manager=self.lease_manager
+            ),
         )
         # Swap in the RPC-backed launch/preemption mechanisms: the two modules
         # that differ between simulation and deployment.
@@ -124,6 +226,11 @@ class CentralScheduler:
     @property
     def manager(self) -> BloxManager:
         return self._simulator.manager
+
+    @property
+    def workers(self) -> Dict[int, WorkerManager]:
+        """Live node-id -> WorkerManager registry (membership-synced)."""
+        return self.lease_manager.workers
 
     def lease_latencies_ms(self) -> List[float]:
         """Per-preemption lease-round latencies observed during the run."""

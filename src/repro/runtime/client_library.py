@@ -86,17 +86,37 @@ class BloxDataLoader:
             peer.exit_iteration = exit_iteration
             peer.worker.exit_iterations[peer.job_id] = exit_iteration
 
+    def _choose_exit_iteration(self) -> int:
+        """Phase one: fix a boundary every worker can still reach.
+
+        A peer may have raced one or more iterations ahead by the time the
+        revocation lands here, so the agreed boundary is one past the
+        *furthest* worker -- each worker then runs up to exactly that
+        iteration and checkpoints at the same consistent state.
+        """
+        furthest = max(
+            (peer.current_iteration for peer in self.peers),
+            default=self.current_iteration,
+        )
+        return max(self.current_iteration, furthest) + 1
+
     def _check_lease(self) -> bool:
         """Return True when the job may run the next iteration."""
         if self.exit_iteration is not None:
             return self.current_iteration < self.exit_iteration
         if self.worker.lease_valid(self.job_id):
             return True
-        # Lease revoked at this worker: agree on an exit iteration one past the
-        # current one and propagate it, so peers that raced ahead still stop at
-        # the same boundary.
+        # Lease revoked at this worker.  The revocation may already have
+        # fixed a boundary (worker-to-worker phase two), but the worker only
+        # knows *its* job's progress -- a peer may have raced past that
+        # boundary by the time any loader observes the revocation.  The fixed
+        # value is therefore a floor: the first loader to notice raises it to
+        # one past the furthest peer if needed and propagates the result, so
+        # every worker checkpoints at the same reachable iteration.
         pending = self.worker.exit_iteration_for(self.job_id)
-        exit_iteration = pending if pending is not None else self.current_iteration + 1
+        exit_iteration = self._choose_exit_iteration()
+        if pending is not None:
+            exit_iteration = max(pending, exit_iteration)
         self._propagate_exit(exit_iteration)
         return self.current_iteration < exit_iteration
 
@@ -122,6 +142,10 @@ class BloxDataLoader:
             raise StopIteration
         iteration = self.current_iteration
         self.current_iteration += 1
+        # Report progress to the node-local WorkerManager (no RPC) so a
+        # revocation arriving at this worker can fix a reachable exit
+        # iteration even before any loader observes the revoked lease.
+        self.worker.record_iteration(self.job_id, self.current_iteration)
         return iteration
 
     def run_to_completion_or_preemption(self) -> CheckpointRecord:

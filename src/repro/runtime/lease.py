@@ -2,25 +2,42 @@
 
 Round-based schedulers preempt jobs by revoking a lease.  Two protocols:
 
-* **Central lease renewal** -- every worker of every job asks the
+* **Central lease renewal** -- every worker of every running job asks the
   CentralScheduler each round whether its lease still holds.  The scheduler
   serialises these requests, so the per-round lease latency grows with the
-  number of GPUs in the cluster.
+  number of leased GPUs in the cluster.
 * **Optimistic lease renewal** (Blox's contribution) -- leases renew
-  automatically; the scheduler only contacts the one worker per *preempted*
-  job (which then runs the two-phase exit protocol with its peers).  The
-  per-round cost depends only on the number of revocations, not cluster size.
+  automatically; the scheduler contacts exactly **one** worker per *revoked*
+  job, and that worker runs the two-phase exit protocol with its peers
+  (worker-to-worker propagation of the agreed exit iteration).  The
+  scheduler-side cost therefore depends only on the number of revocations,
+  never on cluster size or gang width.
 
 Both protocols are implemented over the in-memory RPC channel; their
 ``renewal_round`` methods return the critical-path latency of one round of
-lease traffic in milliseconds, which is the quantity Figure 19 plots.
+lease traffic in milliseconds (the busiest endpoint -- endpoints proceed in
+parallel), which is the quantity Figure 19 plots.
+
+Lease lifecycle: ``grant`` at launch, ``renewal_round`` while running (a
+revocation inside it runs the revoke path and releases scheduler-side state),
+and ``complete`` when a job finishes -- completion releases the lease *and*
+tells every worker of the job to clear its local state
+(:meth:`WorkerManager.job_finished`), so finished jobs generate no further
+check/renew traffic and leak no worker-side bookkeeping.
+
+Membership is dynamic: :meth:`sync_membership` registers a WorkerManager for
+every node that joined the cluster and deregisters managers of nodes that
+left, so scenario timelines (scale-out, scale-in, upgrades) never hit an
+unknown endpoint.  Revocations tolerate workers that vanished mid-flight
+(their node is gone; the lease dies with it).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
+from repro.core.cluster_state import ClusterState
 from repro.core.exceptions import ConfigurationError, LeaseError
 from repro.runtime.rpc import InMemoryRpcChannel, RpcCostModel
 from repro.runtime.worker_manager import WorkerManager
@@ -47,12 +64,50 @@ class _LeaseManagerBase:
         self.assignments: Dict[int, LeaseAssignment] = {}
         self.channel.register(SCHEDULER_ENDPOINT, "check_lease", self._handle_check_lease)
         self._active_leases: Dict[int, bool] = {}
+        #: Every node that held a lease for the job since it last completed.
+        #: A preempted-then-migrated job leaves drain state (revoked lease,
+        #: exit iteration) on its former workers; completion must clear those
+        #: too, not just the latest assignment.
+        self._holders: Dict[int, Set[int]] = {}
+        #: ``("register"|"deregister", node_id)`` per membership change.
+        self.membership_log: List[Tuple[str, int]] = []
 
     # -- scheduler-side handlers ----------------------------------------
 
     def _handle_check_lease(self, payload) -> bool:
         job_id = payload["job_id"]
         return self._active_leases.get(job_id, False)
+
+    # -- membership dynamics --------------------------------------------
+
+    def register_worker(self, worker: WorkerManager) -> None:
+        """A node joined: route its endpoint and make it grantable."""
+        self.workers[worker.node_id] = worker
+        self.membership_log.append(("register", worker.node_id))
+
+    def deregister_worker(self, node_id: int) -> None:
+        """A node left: drop its endpoint; leases it held die with it."""
+        worker = self.workers.pop(node_id, None)
+        if worker is None:
+            return
+        self.channel.unregister_endpoint(worker.endpoint_name)
+        self.membership_log.append(("deregister", node_id))
+
+    def sync_membership(self, cluster_state: ClusterState) -> Tuple[List[int], List[int]]:
+        """Reconcile the worker registry with the cluster's current node set.
+
+        Returns ``(added, removed)`` node ids.  Failed-but-present nodes keep
+        their workers (the node is still a member; its jobs were evicted by
+        the cluster event), only true membership changes register/deregister.
+        """
+        current = set(cluster_state.nodes)
+        added = sorted(current - set(self.workers))
+        removed = sorted(set(self.workers) - current)
+        for node_id in added:
+            self.register_worker(WorkerManager(node_id=node_id, channel=self.channel))
+        for node_id in removed:
+            self.deregister_worker(node_id)
+        return added, removed
 
     # -- common operations ------------------------------------------------
 
@@ -61,19 +116,43 @@ class _LeaseManagerBase:
         for node_id in node_ids:
             if node_id not in self.workers:
                 raise LeaseError(f"cannot grant lease on unknown node {node_id}")
-            self.channel.call(self.workers[node_id].endpoint_name, "launch", {"job_id": job_id})
+            self.channel.call(
+                self.workers[node_id].endpoint_name,
+                "launch",
+                {"job_id": job_id},
+                caller=SCHEDULER_ENDPOINT,
+            )
         self.assignments[job_id] = LeaseAssignment(job_id=job_id, node_ids=node_ids)
         self._active_leases[job_id] = True
+        self._holders.setdefault(job_id, set()).update(node_ids)
 
     def release(self, job_id: int) -> None:
         self.assignments.pop(job_id, None)
         self._active_leases.pop(job_id, None)
 
+    def complete(self, job_id: int) -> None:
+        """A job finished: release its lease and clear worker-local state.
+
+        Finished jobs must stop producing check/renew traffic immediately
+        (``assignments`` shrinks here, not only on preemption) and must not
+        leak lease/iteration/metric entries on their workers -- including
+        *former* workers the job was preempted off before migrating.
+        """
+        for node_id in sorted(self._holders.pop(job_id, ())):
+            worker = self.workers.get(node_id)
+            if worker is None:
+                continue  # the node left; its state is already gone
+            self.channel.call(
+                worker.endpoint_name,
+                "job_finished",
+                {"job_id": job_id},
+                caller=SCHEDULER_ENDPOINT,
+            )
+        self.release(job_id)
+
     def critical_path_ms(self) -> float:
         """Latency of the round: the busiest endpoint bounds the round's lease time."""
-        if not self.channel.endpoint_busy_ms:
-            return 0.0
-        return max(self.channel.endpoint_busy_ms.values())
+        return self.channel.critical_path_ms()
 
 
 class CentralLeaseManager(_LeaseManagerBase):
@@ -86,17 +165,30 @@ class CentralLeaseManager(_LeaseManagerBase):
         revoked = set(revoked_job_ids)
         self.channel.reset_accounting()
         for job_id in revoked:
-            self._active_leases[job_id] = False
+            if job_id in self._active_leases:
+                self._active_leases[job_id] = False
         for assignment in list(self.assignments.values()):
             for node_id in assignment.node_ids:
+                worker = self.workers.get(node_id)
+                if worker is None:
+                    continue  # node left the cluster; nothing to check there
+                # The worker asks the central scheduler whether its lease
+                # still holds -- this is the serialisation point that makes
+                # the central protocol scale with leased GPUs, not with
+                # revocations.
                 still_valid = self.channel.call(
-                    SCHEDULER_ENDPOINT, "check_lease", {"job_id": assignment.job_id}
+                    SCHEDULER_ENDPOINT,
+                    "check_lease",
+                    {"job_id": assignment.job_id},
+                    caller=worker.endpoint_name,
                 )
-                worker = self.workers[node_id]
-                if still_valid:
-                    self.channel.call(worker.endpoint_name, "renew_lease", {"job_id": assignment.job_id})
-                else:
-                    self.channel.call(worker.endpoint_name, "revoke_lease", {"job_id": assignment.job_id})
+                method = "renew_lease" if still_valid else "revoke_lease"
+                self.channel.call(
+                    worker.endpoint_name,
+                    method,
+                    {"job_id": assignment.job_id},
+                    caller=SCHEDULER_ENDPOINT,
+                )
         for job_id in revoked:
             self.release(job_id)
         return self.critical_path_ms()
@@ -113,21 +205,24 @@ class OptimisticLeaseManager(_LeaseManagerBase):
         for job_id in revoked_job_ids:
             assignment = self.assignments.get(job_id)
             if assignment is None:
-                continue
+                continue  # completed (or already revoked) between decision and round
             self._active_leases[job_id] = False
             # Two-phase exit: the scheduler contacts a single worker; that
-            # worker propagates the exit iteration to its peers directly.
-            first_node = assignment.node_ids[0]
-            self.channel.call(
-                self.workers[first_node].endpoint_name,
-                "revoke_lease",
-                {"job_id": job_id, "exit_iteration": None},
-            )
-            for peer_node in assignment.node_ids[1:]:
+            # worker fixes the exit iteration and propagates it to its peers
+            # worker-to-worker (peer fan-out bills the worker, never the
+            # scheduler endpoint).  Workers whose node left are skipped; if
+            # every worker is gone the lease simply dies with the nodes.
+            available = [n for n in assignment.node_ids if n in self.workers]
+            if available:
+                first, peers = available[0], available[1:]
                 self.channel.call(
-                    self.workers[peer_node].endpoint_name,
+                    self.workers[first].endpoint_name,
                     "revoke_lease",
-                    {"job_id": job_id, "exit_iteration": None},
+                    {
+                        "job_id": job_id,
+                        "peers": [self.workers[p].endpoint_name for p in peers],
+                    },
+                    caller=SCHEDULER_ENDPOINT,
                 )
             self.release(job_id)
         return self.critical_path_ms()
@@ -151,7 +246,6 @@ def build_lease_setup(
     workers = [WorkerManager(node_id=i, channel=channel) for i in range(num_nodes)]
     manager_cls = CentralLeaseManager if protocol == "central" else OptimisticLeaseManager
     manager = manager_cls(workers, channel)
-    job_id = 0
     total_jobs = int(num_nodes * gpus_per_node * jobs_per_gpu)
     for job_id in range(total_jobs):
         node_id = (job_id // gpus_per_node) % num_nodes

@@ -1,0 +1,97 @@
+"""Deployment-path metric collection.
+
+In a real Blox deployment applications push arbitrary key-value metrics into
+their node's WorkerManager (via :class:`WorkerMetricsCollector`), and the
+CentralScheduler's metric-collection abstraction aggregates the per-node
+stores each round over RPC (``pull_metrics``).  This module bridges those two
+halves into the simulator's :class:`~repro.core.abstractions.MetricCollector`
+contract so the same scheduling loop drives metric collection on both paths:
+
+* the *application side* is stood in for by pushing each running job's
+  scalar metrics (work done, plus whatever the execution model published
+  into ``job.metrics``) to the job's primary WorkerManager through a
+  :class:`WorkerMetricsCollector` -- a node-local call, exactly like a real
+  training process talking to its local daemon;
+* the *scheduler side* pulls every registered worker's store over the RPC
+  channel and merges the per-job dictionaries into one cluster-wide view
+  that policies and experiments can read.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.core.abstractions import MetricCollector
+from repro.core.cluster_state import ClusterState
+from repro.core.job_state import JobState
+from repro.runtime.client_library import WorkerMetricsCollector
+from repro.runtime.lease import SCHEDULER_ENDPOINT
+from repro.runtime.rpc import InMemoryRpcChannel
+from repro.runtime.worker_manager import WorkerManager
+
+
+class WorkerMetricsAggregator(MetricCollector):
+    """Aggregates WorkerManager metric stores through the collector contract.
+
+    ``workers`` is a *live* mapping (the lease manager's registry), so
+    membership changes mid-run are picked up automatically: new nodes start
+    being pulled, departed nodes stop.  Pull calls are real RPCs (they bill
+    the scheduler endpoint between lease rounds) but are excluded from the
+    per-call log, which is reserved for lease traffic.
+    """
+
+    name = "worker-metrics"
+
+    def __init__(
+        self,
+        channel: InMemoryRpcChannel,
+        workers: Mapping[int, WorkerManager],
+        keys: Sequence[str] = ("loss", "throughput"),
+    ) -> None:
+        self.channel = channel
+        self.workers = workers
+        self.keys: Tuple[str, ...] = tuple(keys)
+        #: Last-known metrics per job, merged across all workers; jobs keep
+        #: their final values after they finish (their worker store is
+        #: cleared, the aggregate is not).
+        self.latest: Dict[int, Dict[str, object]] = {}
+        self.pull_rounds = 0
+
+    def collect(
+        self,
+        job_state: JobState,
+        cluster_state: ClusterState,
+        current_time: float,
+    ) -> None:
+        # Application side: each running job reports to its primary worker.
+        for job in job_state.running_jobs():
+            node_ids = cluster_state.nodes_for_job(job.job_id)
+            if not node_ids:
+                continue
+            worker = self.workers.get(node_ids[0])
+            if worker is None:
+                continue
+            payload: Dict[str, object] = {"work_done": job.work_done}
+            for key in self.keys:
+                if key in job.metrics:
+                    payload[key] = job.metrics[key]
+            # The collector is a stateless two-field shim over the worker's
+            # local store; a per-push instance is the whole cost.
+            WorkerMetricsCollector(job_id=job.job_id, worker=worker).push_many(payload)
+
+        # Scheduler side: pull every worker store over RPC and merge.
+        for node_id in sorted(self.workers):
+            worker = self.workers[node_id]
+            store = self.channel.call(
+                worker.endpoint_name,
+                "pull_metrics",
+                {},
+                caller=SCHEDULER_ENDPOINT,
+                log=False,
+            )
+            for job_id, values in store.items():
+                self.latest.setdefault(job_id, {}).update(values)
+        self.pull_rounds += 1
+
+    def latest_for(self, job_id: int) -> Dict[str, object]:
+        return dict(self.latest.get(job_id, {}))

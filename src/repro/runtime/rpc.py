@@ -4,15 +4,25 @@ Every call between the CentralScheduler, the WorkerManagers and the client
 library goes through an :class:`InMemoryRpcChannel`.  The channel delivers
 messages synchronously (the components run in one process here) but accounts
 for the *cost* each call would have over the network using a simple
-:class:`RpcCostModel`; the lease-renewal scalability experiment (Fig. 19) sums
-these costs to compare central and optimistic lease renewal as the cluster
-grows.
+:class:`RpcCostModel`; the lease-renewal scalability experiment (Fig. 19)
+takes the busiest endpoint of a round of lease traffic as that round's
+critical-path latency.
+
+Cost attribution is **caller-aware**: every call bills its client-side cost
+(``base_ms``: serialisation + network round trip) to the *calling* endpoint
+and its handling cost (``server_ms``) to the *receiving* endpoint.  Calls a
+handler makes while serving a request are automatically attributed to the
+endpoint running that handler (the channel keeps a context stack), so when a
+worker fans a lease revocation out to its peers, the fan-out bills the worker
+and its peers -- never the scheduler that sent the single original revoke.
+Independent endpoints proceed in parallel in the modelled network, which is
+why the critical path is the per-endpoint *maximum*, not the global sum.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.exceptions import ConfigurationError
 
@@ -21,10 +31,11 @@ from repro.core.exceptions import ConfigurationError
 class RpcCostModel:
     """Latency model for one RPC between two components.
 
-    ``base_ms`` is the per-call overhead (serialisation + network round trip);
-    ``server_ms`` is the time the receiving server spends handling the call.
-    Calls to a single server serialise on that server, which is what makes a
-    centralised lease server a bottleneck as the cluster scales.
+    ``base_ms`` is the per-call client-side overhead (serialisation + network
+    round trip), billed to the caller; ``server_ms`` is the time the receiving
+    server spends handling the call, billed to the callee.  Calls into a
+    single server serialise on that server, which is what makes a centralised
+    lease server a bottleneck as the cluster scales.
     """
 
     base_ms: float = 0.02
@@ -42,6 +53,7 @@ class RpcCall:
     target: str
     method: str
     payload: Any
+    caller: Optional[str] = None
 
 
 class InMemoryRpcChannel:
@@ -55,27 +67,72 @@ class InMemoryRpcChannel:
         #: critical-path latency of a round of lease traffic.
         self.endpoint_busy_ms: Dict[str, float] = {}
         self.total_calls = 0
+        #: Endpoints currently executing a handler (innermost last); nested
+        #: calls made from inside a handler bill their client-side cost to the
+        #: endpoint running that handler.
+        self._context: List[str] = []
 
     def register(self, endpoint: str, method: str, handler: Callable[[Any], Any]) -> None:
         """Register a handler for ``method`` on ``endpoint``."""
         self._handlers[(endpoint, method)] = handler
 
-    def call(self, endpoint: str, method: str, payload: Any = None) -> Any:
-        """Deliver a message and account for its cost on the receiving endpoint."""
+    def unregister_endpoint(self, endpoint: str) -> None:
+        """Drop every handler of ``endpoint`` (the node left the cluster)."""
+        for key in [k for k in self._handlers if k[0] == endpoint]:
+            del self._handlers[key]
+
+    def has_endpoint(self, endpoint: str) -> bool:
+        return any(key[0] == endpoint for key in self._handlers)
+
+    def call(
+        self,
+        endpoint: str,
+        method: str,
+        payload: Any = None,
+        caller: Optional[str] = None,
+        log: bool = True,
+    ) -> Any:
+        """Deliver a message, attributing client cost to the caller and server
+        cost to the receiver.
+
+        ``caller`` names the endpoint issuing the call; when omitted, a call
+        made from inside a handler is attributed to the endpoint running that
+        handler.  ``log=False`` skips the per-call record (bulk traffic such
+        as metric pulls would otherwise dominate the log) but still counts
+        and bills the call.
+        """
         key = (endpoint, method)
         if key not in self._handlers:
             raise ConfigurationError(f"no handler registered for {method!r} on {endpoint!r}")
+        if caller is None and self._context:
+            caller = self._context[-1]
         self.total_calls += 1
-        self.call_log.append(RpcCall(target=endpoint, method=method, payload=payload))
+        if log:
+            self.call_log.append(
+                RpcCall(target=endpoint, method=method, payload=payload, caller=caller)
+            )
+        if caller is not None:
+            self.endpoint_busy_ms[caller] = (
+                self.endpoint_busy_ms.get(caller, 0.0) + self.cost_model.base_ms
+            )
         self.endpoint_busy_ms[endpoint] = (
-            self.endpoint_busy_ms.get(endpoint, 0.0)
-            + self.cost_model.base_ms
-            + self.cost_model.server_ms
+            self.endpoint_busy_ms.get(endpoint, 0.0) + self.cost_model.server_ms
         )
-        return self._handlers[key](payload)
+        self._context.append(endpoint)
+        try:
+            return self._handlers[key](payload)
+        finally:
+            self._context.pop()
 
     def busy_ms(self, endpoint: str) -> float:
         return self.endpoint_busy_ms.get(endpoint, 0.0)
+
+    def critical_path_ms(self) -> float:
+        """Busiest endpoint since the last reset: endpoints run in parallel,
+        so the slowest one bounds the round."""
+        if not self.endpoint_busy_ms:
+            return 0.0
+        return max(self.endpoint_busy_ms.values())
 
     def reset_accounting(self) -> None:
         """Clear cost counters (the call handlers stay registered)."""

@@ -4,6 +4,13 @@ A WorkerManager runs on every server: it executes launch/preempt commands from
 the CentralScheduler, stores job leases locally so the client library can check
 them without a round trip to the scheduler (the optimistic scheme), and acts as
 the local metric store that applications push arbitrary key-value metrics into.
+
+Revocation is two-phase (the optimistic protocol): the scheduler contacts
+*one* worker of a revoked job; that worker fixes the exit iteration (the
+payload's, or one past the job's last reported iteration) and propagates it
+worker-to-worker to the peers named in the payload, so every worker of a
+distributed job checkpoints at the same boundary without the scheduler ever
+fanning out itself.
 """
 
 from __future__ import annotations
@@ -11,7 +18,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.core.exceptions import LeaseError
 from repro.runtime.rpc import InMemoryRpcChannel
 
 
@@ -23,6 +29,10 @@ class WorkerManager:
     channel: Optional[InMemoryRpcChannel] = None
     leases: Dict[int, bool] = field(default_factory=dict)
     exit_iterations: Dict[int, int] = field(default_factory=dict)
+    #: Last iteration each local job reported (the client library's data
+    #: loader records progress here); used to pick a concrete exit iteration
+    #: when a revocation arrives without one.
+    job_iterations: Dict[int, int] = field(default_factory=dict)
     metrics: Dict[int, Dict[str, object]] = field(default_factory=dict)
     running_jobs: List[int] = field(default_factory=list)
 
@@ -32,6 +42,7 @@ class WorkerManager:
             self.channel.register(endpoint, "launch", self._handle_launch)
             self.channel.register(endpoint, "revoke_lease", self._handle_revoke)
             self.channel.register(endpoint, "renew_lease", self._handle_renew)
+            self.channel.register(endpoint, "job_finished", self._handle_job_finished)
             self.channel.register(endpoint, "push_metric", self._handle_push_metric)
             self.channel.register(endpoint, "pull_metrics", self._handle_pull_metrics)
 
@@ -52,17 +63,48 @@ class WorkerManager:
         return True
 
     def _handle_revoke(self, payload) -> bool:
+        """Revoke a lease; idempotent, and phase two of the optimistic exit.
+
+        A job may complete (and clear its worker state) between the
+        scheduler's decision and the revoke's arrival, or a second revoke may
+        arrive for a lease already revoked -- both are benign no-ops, not
+        errors: the revocation's goal (the job no longer runs here) already
+        holds.  Returns whether the revoke changed anything.
+        """
         job_id = payload["job_id"]
         if job_id not in self.leases:
-            raise LeaseError(f"worker {self.node_id} holds no lease for job {job_id}")
+            return False
+        already_revoked = not self.leases[job_id]
         self.leases[job_id] = False
-        if "exit_iteration" in payload:
-            self.exit_iterations[job_id] = payload["exit_iteration"]
-        return True
+        if job_id in self.running_jobs:
+            # The job now drains to its exit iteration and checkpoints; it no
+            # longer counts as running here (a relaunch re-adds it).
+            self.running_jobs.remove(job_id)
+        exit_iteration = payload.get("exit_iteration")
+        if exit_iteration is None:
+            # Phase one lands here: this worker fixes the concrete boundary.
+            exit_iteration = self.job_iterations.get(job_id, 0) + 1
+        if not already_revoked or job_id not in self.exit_iterations:
+            self.exit_iterations[job_id] = int(exit_iteration)
+        if self.channel is not None:
+            # Phase two: propagate the *fixed* exit iteration to the peers the
+            # scheduler named.  Nested calls bill this worker, not the
+            # scheduler (caller-aware channel accounting).
+            for peer_endpoint in payload.get("peers", ()):
+                self.channel.call(
+                    peer_endpoint,
+                    "revoke_lease",
+                    {"job_id": job_id, "exit_iteration": self.exit_iterations[job_id]},
+                )
+        return not already_revoked
 
     def _handle_renew(self, payload) -> bool:
         job_id = payload["job_id"]
         self.leases[job_id] = True
+        return True
+
+    def _handle_job_finished(self, payload) -> bool:
+        self.job_finished(payload["job_id"])
         return True
 
     def _handle_push_metric(self, payload) -> bool:
@@ -84,6 +126,10 @@ class WorkerManager:
     def exit_iteration_for(self, job_id: int) -> Optional[int]:
         return self.exit_iterations.get(job_id)
 
+    def record_iteration(self, job_id: int, iteration: int) -> None:
+        """Data-loader progress report (local, per iteration boundary)."""
+        self.job_iterations[job_id] = iteration
+
     def push_metric(self, job_id: int, key: str, value: object) -> None:
         self.metrics.setdefault(job_id, {})[key] = value
 
@@ -91,5 +137,7 @@ class WorkerManager:
         """Clear all local state for a job that exited."""
         self.leases.pop(job_id, None)
         self.exit_iterations.pop(job_id, None)
+        self.job_iterations.pop(job_id, None)
+        self.metrics.pop(job_id, None)
         if job_id in self.running_jobs:
             self.running_jobs.remove(job_id)

@@ -15,7 +15,7 @@ import heapq
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.abstractions import (
     AdmissionPolicy,
@@ -140,6 +140,7 @@ class Simulator:
         max_rounds: int = 200_000,
         fast_forward: bool = True,
         job_state: Optional[JobState] = None,
+        manager_factory: Optional[Callable[..., BloxManager]] = None,
     ) -> None:
         from repro.policies.admission.accept_all import AcceptAll
         from repro.policies.placement.consolidated import ConsolidatedPlacement
@@ -163,7 +164,12 @@ class Simulator:
             )
         self.metric_collectors = list(metric_collectors)
         self.max_rounds = max_rounds
-        self.manager = BloxManager(
+        # The deployment path (repro.runtime.CentralScheduler) substitutes a
+        # BloxManager subclass that ties the lease lifecycle to job
+        # completion; everything else about the loop is shared.
+        if manager_factory is None:
+            manager_factory = BloxManager
+        self.manager = manager_factory(
             trace_jobs=self.jobs,
             round_duration=round_duration,
             execution_model=self.execution_model,
