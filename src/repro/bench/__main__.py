@@ -1,4 +1,4 @@
-"""CLI entry point: ``python -m repro.bench [--smoke] [--runtime] [--out PATH]``."""
+"""CLI entry point: ``python -m repro.bench [--smoke] [--runtime|--federation] [--out PATH]``."""
 
 from __future__ import annotations
 
@@ -7,6 +7,7 @@ import json
 import sys
 
 from repro.bench.core_bench import run_core_bench
+from repro.bench.federation_bench import run_federation_bench
 from repro.bench.runtime_bench import run_runtime_bench
 
 
@@ -16,7 +17,9 @@ def main(argv=None) -> int:
         description=(
             "Run the scheduler-core benchmark (baseline vs. indexed), or -- "
             "with --runtime -- the deployment-path benchmark (CentralScheduler "
-            "vs. plain simulation plus the Fig. 19 lease sweep)."
+            "vs. plain simulation plus the Fig. 19 lease sweep), or -- with "
+            "--federation -- the multi-cluster federation benchmark (router x "
+            "shard-count matrix, parity-checked)."
         ),
     )
     parser.add_argument(
@@ -24,7 +27,8 @@ def main(argv=None) -> int:
         action="store_true",
         help="small configuration for CI (seconds instead of minutes)",
     )
-    parser.add_argument(
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
         "--runtime",
         action="store_true",
         help=(
@@ -33,12 +37,22 @@ def main(argv=None) -> int:
             "schedule-parity checked (writes BENCH_runtime.json)"
         ),
     )
+    mode.add_argument(
+        "--federation",
+        action="store_true",
+        help=(
+            "run the federation benchmark instead: every routing policy x "
+            "shard count on the Philly workload, per-shard fast-forward vs "
+            "stepping schedule-parity checked (writes BENCH_federation.json)"
+        ),
+    )
     parser.add_argument(
         "--out",
         default=None,
         help=(
-            "output JSON path (default: BENCH_core.json, or BENCH_runtime.json "
-            "with --runtime); '-' to skip writing"
+            "output JSON path (default: BENCH_core.json, BENCH_runtime.json "
+            "with --runtime, or BENCH_federation.json with --federation); "
+            "'-' to skip writing"
         ),
     )
     parser.add_argument(
@@ -46,11 +60,30 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the scheduling-policy x placement benchmark matrix",
     )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the federation matrix (default: serial, so "
+            "cross-cell rounds/s comparisons are timed fairly; parallel runs "
+            "are for parity-only checks; only used with --federation)"
+        ),
+    )
     args = parser.parse_args(argv)
-    default_out = "BENCH_runtime.json" if args.runtime else "BENCH_core.json"
+    if args.runtime:
+        default_out = "BENCH_runtime.json"
+    elif args.federation:
+        default_out = "BENCH_federation.json"
+    else:
+        default_out = "BENCH_core.json"
     out_path = None if args.out == "-" else (args.out or default_out)
     if args.runtime:
         report = run_runtime_bench(smoke=args.smoke, out_path=out_path)
+    elif args.federation:
+        report = run_federation_bench(
+            smoke=args.smoke, out_path=out_path, processes=args.processes
+        )
     else:
         report = run_core_bench(
             smoke=args.smoke, out_path=out_path, policies=not args.no_policies
@@ -65,6 +98,19 @@ def main(argv=None) -> int:
         failed.extend(f"lease claim {name}" for name, ok in claims.items() if not ok)
         if failed:
             print(f"runtime bench FAILED: {', '.join(failed)}", file=sys.stderr)
+            return 1
+    if args.federation:
+        failed = []
+        if not report["all_schedule_parity"]:
+            failed.append("schedule parity")
+        if not report["multi_shard_gain_ok"]:
+            failed.append(
+                "multi-shard rounds/s gain (need >= 2 routers, got "
+                + str(report["multi_shard_gain_routers"])
+                + ")"
+            )
+        if failed:
+            print(f"federation bench FAILED: {', '.join(failed)}", file=sys.stderr)
             return 1
     return 0
 

@@ -1,0 +1,232 @@
+"""The federation benchmark: router x shard-count matrix, parity-checked.
+
+``python -m repro.bench --federation`` runs the seeded Philly-style benchmark
+workload through every stock :mod:`repro.federation.router` at several shard
+counts.  The *total* GPU capacity is held constant across shard counts (the
+64-node cluster is split into 1, 2, 4 or 8 equal shards), so every cell
+schedules the same offered load and the matrix isolates the effect of
+horizontal sharding: per-round policy/placement cost shrinks with shard size
+while the scheduling quality (makespan, JCT) pays for the loss of global
+placement freedom -- the trade-off the routers are there to manage.
+
+Every cell is simulated twice, with per-shard event-skipping fast-forward on
+and with per-round stepping, and must produce bit-identical per-shard
+completion times, round logs, round counts *and routing assignments*
+(``schedule_parity``) -- routing reads shard state only at pause points, so
+fast-forward remains a pure performance feature across the federation layer.
+Each shard's ``ClusterState.check_invariants()`` is asserted after every run.
+
+Results are written to ``BENCH_federation.json``.  The report fails (exit 1
+in the CLI) unless every cell has schedule parity and at least two routers
+show a multi-shard rounds/s gain over their own 1-shard cell.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import platform
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench import workload
+from repro.federation.engine import FederationEngine, FederationResult
+from repro.federation.engine import build_uniform_shards
+from repro.federation.router import make_router, router_names
+from repro.policies.placement.consolidated import ConsolidatedPlacement
+from repro.policies.scheduling.fifo import FifoScheduling
+
+#: Shard counts of the matrix.  Every count must divide the node total and
+#: leave each shard at least as large as the workload's biggest gang
+#: (16 GPUs = 4 nodes), or routing would have no feasible shard.
+FULL_TOTAL_NODES = 64
+FULL_SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4, 8)
+
+#: CI smoke: 16 nodes so a 4-way split still fits the largest gang.
+SMOKE_TOTAL_NODES = 16
+SMOKE_SHARD_COUNTS: Tuple[int, ...] = (1, 2, 4)
+
+
+@dataclass(frozen=True)
+class FederationCell:
+    """One picklable cell of the matrix (shipped to sweep workers)."""
+
+    router: str
+    num_shards: int
+    total_nodes: int
+    smoke: bool
+
+
+def _run_federation(cell: FederationCell, fast_forward: bool) -> FederationResult:
+    trace = workload.bench_trace(smoke=cell.smoke)
+    shards = build_uniform_shards(
+        num_shards=cell.num_shards,
+        nodes_per_shard=cell.total_nodes // cell.num_shards,
+        scheduling_factory=FifoScheduling,
+        placement_factory=ConsolidatedPlacement,
+        gpus_per_node=workload.GPUS_PER_NODE,
+        round_duration=workload.ROUND_DURATION,
+        fast_forward=fast_forward,
+    )
+    engine = FederationEngine(
+        shards,
+        make_router(cell.router),
+        trace.fresh_jobs(),
+        tracked_job_ids=trace.tracked_ids(),
+    )
+    result = engine.run()
+    for shard in shards:
+        shard.cluster_state.check_invariants()
+    return result
+
+
+def _shard_parity(fastforward: FederationResult, stepping: FederationResult) -> bool:
+    """Bit-identical per-shard schedules and identical routing decisions."""
+    if fastforward.assignments != stepping.assignments:
+        return False
+    for ff_shard, step_shard in zip(fastforward.shard_results, stepping.shard_results):
+        ff_completions = {j.job_id: j.completion_time for j in ff_shard.jobs}
+        step_completions = {j.job_id: j.completion_time for j in step_shard.jobs}
+        if ff_completions != step_completions:
+            return False
+        if ff_shard.round_log != step_shard.round_log:
+            return False
+        if ff_shard.rounds != step_shard.rounds:
+            return False
+    return True
+
+
+def _execute_cell(cell: FederationCell) -> Tuple[str, Dict[str, object]]:
+    """Run one cell (fast-forward + stepping) and reduce it to a JSON row."""
+    fastforward = _run_federation(cell, fast_forward=True)
+    stepping = _run_federation(cell, fast_forward=False)
+    parity = _shard_parity(fastforward, stepping)
+    ff_rps = (
+        fastforward.total_rounds() / fastforward.wall_time_s
+        if fastforward.wall_time_s > 0
+        else float("inf")
+    )
+    step_rps = (
+        stepping.total_rounds() / stepping.wall_time_s
+        if stepping.wall_time_s > 0
+        else float("inf")
+    )
+    summary = fastforward.summary()
+    row = {
+        "router": cell.router,
+        "num_shards": cell.num_shards,
+        "nodes_per_shard": cell.total_nodes // cell.num_shards,
+        "schedule_parity": parity,
+        "total_rounds": fastforward.total_rounds(),
+        "jobs_per_shard": fastforward.jobs_per_shard(),
+        "fastforward_wall_s": round(fastforward.wall_time_s, 4),
+        "stepping_wall_s": round(stepping.wall_time_s, 4),
+        "fastforward_rounds_per_sec": round(ff_rps, 1),
+        "stepping_rounds_per_sec": round(step_rps, 1),
+        "speedup_rounds_per_sec": round(ff_rps / step_rps, 2) if step_rps > 0 else None,
+        "makespan_s": round(summary.pooled.makespan, 1),
+        "avg_jct_s": round(summary.pooled.avg_jct, 1),
+        "p99_jct_s": round(summary.pooled.p99_jct, 1),
+        "finished_jobs": summary.pooled.count,
+        "routing_imbalance": round(summary.routing_imbalance, 3),
+        "capacity_weighted_utilization": round(summary.capacity_weighted_utilization, 4),
+    }
+    return f"{cell.router}/shards{cell.num_shards}", row
+
+
+def run_federation_bench(
+    smoke: bool = False,
+    out_path: Optional[str] = "BENCH_federation.json",
+    processes: Optional[int] = None,
+) -> Dict[str, object]:
+    """Run the router x shard-count matrix; returns the JSON report payload."""
+    total_nodes = SMOKE_TOTAL_NODES if smoke else FULL_TOTAL_NODES
+    shard_counts = SMOKE_SHARD_COUNTS if smoke else FULL_SHARD_COUNTS
+    routers = router_names()
+    cells = [
+        FederationCell(
+            router=router, num_shards=count, total_nodes=total_nodes, smoke=smoke
+        )
+        for router in routers
+        for count in shard_counts
+    ]
+
+    # Cells are timed and *compared* (the multi-shard gain gate), so the
+    # default is serial execution: concurrent cells contend for cores and
+    # make cross-cell rounds/s comparisons -- and therefore the gate --
+    # machine-load-dependent.  Parallelism is an explicit opt-in for quick
+    # parity-only runs.
+    if processes is None:
+        processes = 1
+    if processes > 1:
+        try:
+            for cell in cells:
+                pickle.dumps(cell)
+        except Exception as exc:  # pragma: no cover - cells are plain data
+            warnings.warn(
+                f"federation cells could not be shipped to workers ({exc!r}); "
+                "falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            rows = [_execute_cell(cell) for cell in cells]
+        else:
+            with ProcessPoolExecutor(max_workers=processes) as executor:
+                rows = list(executor.map(_execute_cell, cells))
+    else:
+        rows = [_execute_cell(cell) for cell in cells]
+
+    cell_rows = dict(rows)
+    all_parity = all(row["schedule_parity"] for row in cell_rows.values())
+
+    # A router "shows a multi-shard gain" when its best multi-shard cell
+    # beats its own 1-shard cell on fast-forward rounds/s.
+    gain_routers: List[str] = []
+    for router in routers:
+        single = cell_rows[f"{router}/shards{shard_counts[0]}"]
+        multi = [
+            cell_rows[f"{router}/shards{count}"]
+            for count in shard_counts
+            if count > shard_counts[0]
+        ]
+        if not multi:
+            continue
+        best = max(row["fastforward_rounds_per_sec"] for row in multi)
+        if best > single["fastforward_rounds_per_sec"]:
+            gain_routers.append(router)
+
+    scale = "smoke" if smoke else "full"
+    total_gpus = total_nodes * workload.GPUS_PER_NODE
+    report: Dict[str, object] = {
+        "benchmark": f"federation-{scale}-{total_gpus}gpu-philly-fifo-consolidated",
+        "config": {
+            "scale": scale,
+            "seed": workload.BENCH_SEED,
+            "total_nodes": total_nodes,
+            "gpus_per_node": workload.GPUS_PER_NODE,
+            "total_gpus": total_gpus,
+            "num_jobs": workload.SMOKE_JOBS if smoke else workload.FULL_JOBS,
+            "jobs_per_hour": workload.SMOKE_JOBS_PER_HOUR
+            if smoke
+            else workload.FULL_JOBS_PER_HOUR,
+            "round_duration_s": workload.ROUND_DURATION,
+            "shard_counts": list(shard_counts),
+            "routers": routers,
+            "scheduling": "fifo",
+            "placement": "consolidated",
+            "python": platform.python_version(),
+        },
+        "matrix": sorted(cell_rows),
+        "all_schedule_parity": all_parity,
+        "multi_shard_gain_routers": gain_routers,
+        "multi_shard_gain_ok": len(gain_routers) >= 2,
+        "cells": cell_rows,
+    }
+
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+    return report

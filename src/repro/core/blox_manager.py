@@ -151,6 +151,27 @@ class BloxManager:
         self.current_time += self.round_duration
         self.round_number += 1
 
+    def submit_job(self, job: Job) -> None:
+        """Append a job to the wait queue mid-run.
+
+        This is the federation routing path: a :class:`FederationRouter`
+        assigns an incoming gang to a shard, and the shard's manager receives
+        it here before the round in which its arrival time falls executes --
+        from the shard's point of view the job behaves exactly as if it had
+        been in the trace from the start.  Arrivals must be routed in global
+        ``(arrival_time, job_id)`` order, so appends keep the queue sorted;
+        out-of-order submission would silently reorder ``pop_wait_queue`` and
+        is rejected loudly instead.
+        """
+        if self._wait_queue:
+            tail = self._wait_queue[-1]
+            if (job.arrival_time, job.job_id) < (tail.arrival_time, tail.job_id):
+                raise ConfigurationError(
+                    f"job {job.job_id} (arrival {job.arrival_time}) submitted out of "
+                    f"order after job {tail.job_id} (arrival {tail.arrival_time})"
+                )
+        self._wait_queue.append(job)
+
     # ------------------------------------------------------------------
     # Introspection helpers
     # ------------------------------------------------------------------
@@ -163,6 +184,14 @@ class BloxManager:
     def next_arrival_time(self) -> Optional[float]:
         """Arrival time of the next queued trace job, or ``None`` if all arrived."""
         return self._wait_queue[0].arrival_time if self._wait_queue else None
+
+    def queued_jobs(self) -> List[Job]:
+        """Jobs waiting in the arrival queue (submitted/trace, not yet popped).
+
+        Read-only view used by federation routers to account for gangs already
+        routed to a shard but not yet admitted by its scheduling loop.
+        """
+        return list(self._wait_queue)
 
     def all_arrived(self) -> bool:
         return not self._wait_queue

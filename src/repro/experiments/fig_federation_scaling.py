@@ -1,0 +1,140 @@
+"""Federation scaling: simulation throughput vs shard count, 1 -> 8 shards.
+
+The horizontal-scaling headline of the federation layer (``docs/federation.md``):
+the 64-node benchmark cluster is split into 1..8 equal shards, each running
+its own FIFO + consolidated scheduling loop, with a router distributing the
+seeded Philly workload across them.  Total GPU capacity and offered load are
+constant across the sweep, so the series isolates what sharding buys
+(smaller per-round scheduling/placement state, independently fast-forwarding
+shards -- higher aggregate rounds/s) and what it costs (loss of global
+placement freedom -- makespan/JCT inflation), and how much of that cost a
+predictive router recovers over the static baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.bench import workload
+from repro.experiments.harness import ExperimentTable
+from repro.federation.engine import FederationEngine, build_uniform_shards
+from repro.federation.router import make_router, router_names
+from repro.policies.placement.consolidated import ConsolidatedPlacement
+from repro.policies.scheduling.fifo import FifoScheduling
+
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+DEFAULT_ROUTERS = ("round-robin", "queue-delay")
+
+
+def run_federation_point(
+    router: str,
+    num_shards: int,
+    total_nodes: int,
+    smoke: bool = False,
+):
+    """One sweep point: a fresh federation of ``num_shards`` equal shards."""
+    trace = workload.bench_trace(smoke=smoke)
+    shards = build_uniform_shards(
+        num_shards=num_shards,
+        nodes_per_shard=total_nodes // num_shards,
+        scheduling_factory=FifoScheduling,
+        placement_factory=ConsolidatedPlacement,
+        gpus_per_node=workload.GPUS_PER_NODE,
+        round_duration=workload.ROUND_DURATION,
+    )
+    engine = FederationEngine(
+        shards,
+        make_router(router),
+        trace.fresh_jobs(),
+        tracked_job_ids=trace.tracked_ids(),
+    )
+    return engine.run()
+
+
+def run_federation_scaling(
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    routers: Sequence[str] = DEFAULT_ROUTERS,
+    smoke: bool = False,
+) -> ExperimentTable:
+    """Throughput/quality series across shard counts, one row per (router, N).
+
+    ``shard_counts`` is swept in ascending order and ``throughput_scaling``
+    is normalised to the smallest count (the closest row to a 1-shard
+    baseline), so the column keeps its meaning regardless of the order the
+    caller passes counts in.
+    """
+    shard_counts = sorted(set(shard_counts))
+    total_nodes = 16 if smoke else 64
+    table = ExperimentTable(
+        name="fig-federation-scaling",
+        description=(
+            f"Sharded federation on the {total_nodes * workload.GPUS_PER_NODE}-GPU "
+            "Philly benchmark workload: aggregate rounds/s and schedule quality "
+            "vs shard count, per router (total capacity held constant)."
+        ),
+        metadata={"total_nodes": total_nodes, "smoke": smoke},
+    )
+    for router in routers:
+        baseline_rps = None
+        for count in shard_counts:
+            if total_nodes % count:
+                raise ValueError(
+                    f"shard count {count} does not divide {total_nodes} nodes"
+                )
+            result = run_federation_point(router, count, total_nodes, smoke=smoke)
+            stats = result.pooled_stats()
+            rps = (
+                result.total_rounds() / result.wall_time_s
+                if result.wall_time_s > 0
+                else float("inf")
+            )
+            if baseline_rps is None:
+                baseline_rps = rps
+            table.add_row(
+                router=router,
+                num_shards=count,
+                rounds_per_sec=round(rps, 1),
+                throughput_scaling=round(rps / baseline_rps, 2),
+                makespan_h=round(stats.makespan / 3600.0, 2),
+                avg_jct_h=round(stats.avg_jct / 3600.0, 2),
+                p99_jct_h=round(stats.p99_jct / 3600.0, 2),
+                finished=stats.count,
+            )
+    return table
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.fig_federation_scaling",
+        description="Federation throughput scaling, 1 -> 8 shards at constant capacity.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small configuration (16 nodes, 60 jobs) for CI",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        action="append",
+        help="shard count to sweep; repeatable (default: 1 2 4 8)",
+    )
+    parser.add_argument(
+        "--router",
+        action="append",
+        choices=router_names(),
+        help="router(s) to sweep; repeatable (default: round-robin, queue-delay)",
+    )
+    args = parser.parse_args(argv)
+    shard_counts = tuple(args.shards) if args.shards else DEFAULT_SHARD_COUNTS
+    if args.smoke:
+        shard_counts = tuple(c for c in shard_counts if c <= 4) or (1, 2, 4)
+    routers = tuple(args.router) if args.router else DEFAULT_ROUTERS
+    table = run_federation_scaling(shard_counts, routers, smoke=args.smoke)
+    print(table.to_text())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    raise SystemExit(main())

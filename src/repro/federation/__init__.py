@@ -1,0 +1,45 @@
+"""Multi-cluster federation: sharded scheduling loops behind a router.
+
+The horizontal-scaling layer of the reproduction (see ``docs/federation.md``):
+N independent shards -- each a full cluster + policy stack, optionally with
+its own scenario timeline -- coordinated by a pluggable
+:class:`~repro.federation.router.FederationRouter` that assigns each incoming
+gang to a shard.  Per-shard event-skipping fast-forward stays active between
+routing events, and every per-shard schedule is parity-checked against
+per-round stepping (``python -m repro.bench --federation``).
+"""
+
+from repro.federation.engine import (
+    FederationEngine,
+    FederationResult,
+    build_uniform_shards,
+)
+from repro.federation.router import (
+    ROUTER_FACTORIES,
+    FederationRouter,
+    GpuTypeAffinityRouter,
+    LeastLoadedRouter,
+    QueueDelayRouter,
+    RoundRobinRouter,
+    ShardView,
+    make_router,
+    router_names,
+)
+from repro.federation.shard import BoundedClusterManager, ShardSimulator
+
+__all__ = [
+    "BoundedClusterManager",
+    "FederationEngine",
+    "FederationResult",
+    "FederationRouter",
+    "GpuTypeAffinityRouter",
+    "LeastLoadedRouter",
+    "QueueDelayRouter",
+    "ROUTER_FACTORIES",
+    "RoundRobinRouter",
+    "ShardSimulator",
+    "ShardView",
+    "build_uniform_shards",
+    "make_router",
+    "router_names",
+]

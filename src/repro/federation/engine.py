@@ -1,0 +1,253 @@
+"""The federation driver: N shards, one router, one global arrival stream.
+
+:class:`FederationEngine` coordinates independent shard scheduling loops
+(:class:`~repro.federation.shard.ShardSimulator`) around a single global job
+stream.  The only cross-shard interaction is *routing*: at each arrival the
+router picks a shard, the gang enters that shard's wait queue, and from then
+on the shard schedules it with its own policy stack, clock and (optional)
+scenario timeline, exactly as a standalone cluster would.
+
+Execution model
+---------------
+
+Shards advance in lockstep between routing events.  The global clock is the
+shared round grid (all shards must use the same ``round_duration`` and start
+at time zero); for each pending arrival at time ``t`` the engine advances
+every shard to the top of the first round at or after ``t`` -- each shard
+fast-forwarding independently, bounded by its own scenario events *and* the
+routing event (the :class:`~repro.federation.shard.BoundedClusterManager`
+bound) -- then routes every gang whose arrival time has been reached, in
+global ``(arrival_time, job_id)`` order.  Once the stream is exhausted the
+shards drain independently to their own completion times.
+
+Determinism and parity: shard states at every pause point are bit-identical
+between fast-forward and per-round stepping (the simulator's parity
+guarantee), routers are deterministic functions of those states, hence the
+*routing decisions* -- and therefore every per-shard schedule -- are
+identical too.  ``python -m repro.bench --federation`` checks this for every
+router x shard-count cell.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.cluster.builder import build_cluster
+from repro.core.abstractions import ClusterManager
+from repro.core.exceptions import ConfigurationError, SimulationError
+from repro.core.job import Job
+from repro.federation.router import FederationRouter, ShardView
+from repro.federation.shard import ShardSimulator
+from repro.metrics.summary import (
+    FederationSummary,
+    SummaryStats,
+    federation_summary,
+    jct_summary,
+)
+from repro.simulator.engine import SimulationResult
+
+__all__ = ["FederationEngine", "FederationResult", "build_uniform_shards"]
+
+
+@dataclass
+class FederationResult:
+    """Everything a federation experiment needs after the run finished."""
+
+    shard_results: List[SimulationResult]
+    #: job id -> shard index, for every routed job.
+    assignments: Dict[int, int]
+    tracked_job_ids: List[int]
+    router_name: str
+    round_duration: float
+    #: Wall-clock seconds of the whole federation run (shard execution plus
+    #: routing); the per-shard ``wall_time_s`` fields sum to slightly less.
+    wall_time_s: float = 0.0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_results)
+
+    def total_rounds(self) -> int:
+        """Rounds executed across all shards (the federation's work unit)."""
+        return sum(result.rounds for result in self.shard_results)
+
+    def jobs(self) -> List[Job]:
+        """All jobs across shards, sorted by job id."""
+        pooled = [job for result in self.shard_results for job in result.jobs]
+        return sorted(pooled, key=lambda j: j.job_id)
+
+    def jobs_per_shard(self) -> List[int]:
+        counts = [0] * len(self.shard_results)
+        for shard_index in self.assignments.values():
+            counts[shard_index] += 1
+        return counts
+
+    def pooled_stats(self) -> SummaryStats:
+        """Headline JCT statistics over the tracked jobs of every shard."""
+        return jct_summary(self.jobs(), self.tracked_job_ids)
+
+    def makespan(self) -> float:
+        return self.pooled_stats().makespan
+
+    def avg_jct(self) -> float:
+        return self.pooled_stats().avg_jct
+
+    def summary(self) -> FederationSummary:
+        """Aggregate per-shard scenario summaries plus pooled statistics."""
+        return federation_summary(
+            shard_jobs=[result.jobs for result in self.shard_results],
+            shard_round_logs=[result.round_log for result in self.shard_results],
+            shard_eviction_counts=[result.eviction_count for result in self.shard_results],
+            tracked_ids=self.tracked_job_ids,
+        )
+
+
+class FederationEngine:
+    """Runs a sharded federation of scheduling loops to completion."""
+
+    def __init__(
+        self,
+        shards: Sequence[ShardSimulator],
+        router: FederationRouter,
+        jobs: Iterable[Job],
+        tracked_job_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        self.shards = list(shards)
+        if not self.shards:
+            raise ConfigurationError("a federation needs at least one shard")
+        for index, shard in enumerate(self.shards):
+            if shard.shard_id != index:
+                raise ConfigurationError(
+                    f"shard at position {index} has shard_id {shard.shard_id}; "
+                    "shard ids must equal their position (routers return indexes)"
+                )
+        durations = {shard.manager.round_duration for shard in self.shards}
+        if len(durations) != 1:
+            raise ConfigurationError(
+                f"shards must share one round_duration for lockstep routing, got {sorted(durations)}"
+            )
+        self.router = router
+        self._arrivals = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+        if not self._arrivals:
+            raise ConfigurationError("cannot federate an empty workload")
+        if tracked_job_ids is None:
+            self.tracked_job_ids = [job.job_id for job in self._arrivals]
+        else:
+            self.tracked_job_ids = list(tracked_job_ids)
+
+    # ------------------------------------------------------------------
+
+    def _views(self) -> List[ShardView]:
+        return [
+            ShardView(
+                shard_id=shard.shard_id,
+                cluster_state=shard.cluster_state,
+                job_state=shard.job_state,
+                current_time=shard.manager.current_time,
+                queued_jobs=tuple(shard.manager.queued_jobs()),
+            )
+            for shard in self.shards
+        ]
+
+    def run(self) -> FederationResult:
+        """Route every gang, drain every shard, return the combined result."""
+        wall_start = time.perf_counter()
+        arrivals = self._arrivals
+        assignments: Dict[int, int] = {}
+        index = 0
+        while index < len(arrivals):
+            next_arrival = arrivals[index].arrival_time
+            for shard in self.shards:
+                shard.run_until(next_arrival)
+            # All shards share the round grid, so they pause on the same
+            # boundary: the first round start at or after the arrival.
+            now = self.shards[0].manager.current_time
+            # Route every gang that round will pop, in global arrival order.
+            # Views are rebuilt per decision so a second gang in the same
+            # round sees the first one in the target shard's queue.
+            while index < len(arrivals) and arrivals[index].arrival_time <= now:
+                job = arrivals[index]
+                index += 1
+                # Feasibility: a gang larger than a shard's entire GPU pool
+                # can never be placed there -- routing it would starve it (and
+                # the shard's loop) forever, so such shards are not offered.
+                views = [
+                    view
+                    for view in self._views()
+                    if view.cluster_state.total_gpus >= job.num_gpus
+                ]
+                if not views:
+                    raise SimulationError(
+                        f"job {job.job_id} requests {job.num_gpus} GPUs, more "
+                        "than any shard owns; no feasible routing exists"
+                    )
+                choice = self.router.route(job, views)
+                if choice not in {view.shard_id for view in views}:
+                    raise SimulationError(
+                        f"router {self.router.name!r} returned shard {choice} "
+                        f"for job {job.job_id}, which is not among the "
+                        f"feasible shards {sorted(v.shard_id for v in views)}"
+                    )
+                self.shards[choice].submit(job)
+                assignments[job.job_id] = choice
+        shard_results = [shard.finish() for shard in self.shards]
+        return FederationResult(
+            shard_results=shard_results,
+            assignments=assignments,
+            tracked_job_ids=self.tracked_job_ids,
+            router_name=self.router.name,
+            round_duration=self.shards[0].manager.round_duration,
+            wall_time_s=time.perf_counter() - wall_start,
+        )
+
+
+def build_uniform_shards(
+    num_shards: int,
+    nodes_per_shard: int,
+    scheduling_factory: Callable,
+    placement_factory: Optional[Callable] = None,
+    admission_factory: Optional[Callable] = None,
+    gpus_per_node: int = 4,
+    gpu_type: str = "v100",
+    network_bw_gbps: float = 10.0,
+    round_duration: float = 300.0,
+    fast_forward: bool = True,
+    cluster_manager_factory: Optional[Callable[[int], Optional[ClusterManager]]] = None,
+    max_rounds: int = 200_000,
+) -> List[ShardSimulator]:
+    """Build ``num_shards`` identical shards with fresh policy instances.
+
+    ``cluster_manager_factory`` receives the shard index and may return a
+    per-shard manager (e.g. a fresh scenario
+    :class:`~repro.scenarios.timeline.TimelineClusterManager`) or ``None``
+    for static membership; managers are stateful, so the factory must build a
+    new instance per shard.
+    """
+    if num_shards < 1:
+        raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+    if nodes_per_shard < 1:
+        raise ConfigurationError(f"nodes_per_shard must be >= 1, got {nodes_per_shard}")
+    shards: List[ShardSimulator] = []
+    for shard_id in range(num_shards):
+        manager = cluster_manager_factory(shard_id) if cluster_manager_factory else None
+        shards.append(
+            ShardSimulator(
+                shard_id=shard_id,
+                cluster_state=build_cluster(
+                    num_nodes=nodes_per_shard,
+                    gpus_per_node=gpus_per_node,
+                    gpu_type=gpu_type,
+                    network_bw_gbps=network_bw_gbps,
+                ),
+                scheduling_policy=scheduling_factory(),
+                placement_policy=placement_factory() if placement_factory else None,
+                admission_policy=admission_factory() if admission_factory else None,
+                cluster_manager=manager,
+                round_duration=round_duration,
+                fast_forward=fast_forward,
+                max_rounds=max_rounds,
+            )
+        )
+    return shards

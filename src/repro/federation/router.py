@@ -1,0 +1,244 @@
+"""Pluggable routing policies for the multi-cluster federation layer.
+
+A :class:`FederationRouter` is the admission-side counterpart of a scheduling
+policy one level up: where a scheduling policy orders jobs *within* a cluster,
+a router decides which shard (independent cluster + policy stack) an incoming
+gang enters at all.  Routers see a read-only :class:`ShardView` per shard --
+the shard's cluster and job state as of the last completed round, plus the
+gangs already routed to it but not yet admitted -- and return a shard index.
+
+Determinism contract: routing is a pure function of the job and the shard
+views (round-robin additionally keeps an internal cursor, which is still
+deterministic), with explicit shard-id tie-breaks.  No router draws
+randomness, so a federation run is replayable and the fast-forward parity
+checks extend across the routing layer.
+
+The four stock routers cover the design space the Block paper (predictive
+load balancing across scheduler instances) motivates:
+
+* :class:`RoundRobinRouter` -- the static baseline;
+* :class:`LeastLoadedRouter` -- greedy on current capacity utilisation;
+* :class:`GpuTypeAffinityRouter` -- locality first (shards owning the job's
+  requested GPU generation), then least-loaded;
+* :class:`QueueDelayRouter` -- predictive: routes to the shard whose
+  estimated queue backlog plus the job's own service demand clears first.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.cluster_state import ClusterState, gpu_type_key
+from repro.core.job import Job
+from repro.core.job_state import JobState
+
+__all__ = [
+    "ShardView",
+    "FederationRouter",
+    "RoundRobinRouter",
+    "LeastLoadedRouter",
+    "GpuTypeAffinityRouter",
+    "QueueDelayRouter",
+    "ROUTER_FACTORIES",
+    "router_names",
+    "make_router",
+]
+
+
+@dataclass(frozen=True)
+class ShardView:
+    """Read-only facts a router may consult about one shard.
+
+    ``cluster_state``/``job_state`` are the shard's *live* objects (copying
+    them per decision would dwarf the routing cost); routers must treat them
+    as immutable.  ``queued_jobs`` are gangs already routed to the shard but
+    still in its arrival queue -- without them, two gangs arriving in the
+    same round would both see the shard as empty and pile onto it.
+    """
+
+    shard_id: int
+    cluster_state: ClusterState
+    job_state: JobState
+    current_time: float
+    queued_jobs: Tuple[Job, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Derived load metrics shared by the stock routers
+    # ------------------------------------------------------------------
+
+    def pending_gpu_demand(self) -> int:
+        """GPUs wanted by jobs that are admitted-but-idle or still queued."""
+        job_state = self.job_state
+        demand = sum(
+            job.num_gpus for job in job_state.active_jobs() if not job.is_running
+        )
+        demand += sum(job.num_gpus for job in self.queued_jobs)
+        return demand
+
+    def outstanding_gpu_seconds(self) -> float:
+        """Remaining compute demand committed to this shard, in GPU-seconds.
+
+        Sums ``remaining_work * num_gpus`` over every active job plus every
+        routed-but-unadmitted gang: the fluid-model backlog a new arrival
+        queues behind.
+        """
+        total = 0.0
+        for job in self.job_state.active_jobs():
+            total += job.remaining_work * job.num_gpus
+        for job in self.queued_jobs:
+            total += job.remaining_work * job.num_gpus
+        return total
+
+
+class FederationRouter:
+    """Decides which shard an incoming gang is admitted to.
+
+    ``route`` receives the views of the shards the gang can *feasibly* run
+    on (the engine pre-filters shards whose total GPU count is below the
+    gang size -- routing there would starve the job forever) and must return
+    the ``shard_id`` of one of them.
+    """
+
+    name = "router"
+
+    def route(self, job: Job, shards: Sequence[ShardView]) -> int:
+        """Return the ``shard_id`` of the view chosen for ``job``."""
+        raise NotImplementedError
+
+
+class RoundRobinRouter(FederationRouter):
+    """Cycle through the feasible shards, one gang each.
+
+    The cursor advances once per routed gang regardless of how many shards
+    were feasible for it, so small gangs keep rotating over the full
+    federation while oversized gangs cycle over the subset that fits them.
+    """
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def route(self, job: Job, shards: Sequence[ShardView]) -> int:
+        del job
+        view = shards[self._cursor % len(shards)]
+        self._cursor += 1
+        return view.shard_id
+
+
+def _load_key(view: ShardView) -> Tuple[float, float, int]:
+    """Least-loaded ordering: utilisation, then pending demand, then id.
+
+    Primary key is the O(1) compute-weighted :meth:`ClusterState.capacity_utilization`
+    (failed nodes don't count as schedulable headroom).  Early in a run every
+    shard is at 0% utilisation, so pending demand relative to capacity breaks
+    ties before the deterministic shard-id fallback.  A shard with *zero*
+    healthy capacity (every node failed or scaled in) ranks as maximally
+    loaded -- ``capacity_utilization`` reports such a shard as 0.0, and
+    treating that as "idle" would funnel every arrival into a dead shard for
+    the duration of its outage.
+    """
+    cluster = view.cluster_state
+    capacity = cluster.healthy_capacity()
+    if capacity <= 0:
+        return (math.inf, math.inf, view.shard_id)
+    pending = view.pending_gpu_demand() / capacity
+    return (cluster.capacity_utilization(), pending, view.shard_id)
+
+
+class LeastLoadedRouter(FederationRouter):
+    """Greedy: route to the shard with the lowest capacity utilisation."""
+
+    name = "least-loaded"
+
+    def route(self, job: Job, shards: Sequence[ShardView]) -> int:
+        del job
+        return min(shards, key=_load_key).shard_id
+
+
+class GpuTypeAffinityRouter(FederationRouter):
+    """Locality first: prefer shards that own the job's requested GPU type.
+
+    Candidate order: shards with a *free* GPU of the requested type, then
+    shards owning the type at all (on a healthy node), then every shard.
+    Within each tier the least-loaded ordering decides.  Jobs whose type no
+    shard owns degrade gracefully to pure least-loaded routing.
+    """
+
+    name = "gpu-affinity"
+
+    def route(self, job: Job, shards: Sequence[ShardView]) -> int:
+        wanted = gpu_type_key(job.gpu_type)
+
+        def owns_type(view: ShardView) -> bool:
+            return any(
+                gpu_type_key(node.gpu_type) == wanted
+                for node in view.cluster_state.active_nodes()
+            )
+
+        with_free = [v for v in shards if v.cluster_state.num_free_gpus(wanted) > 0]
+        if with_free:
+            return min(with_free, key=_load_key).shard_id
+        with_type = [v for v in shards if owns_type(v)]
+        if with_type:
+            return min(with_type, key=_load_key).shard_id
+        return min(shards, key=_load_key).shard_id
+
+
+class QueueDelayRouter(FederationRouter):
+    """Predictive router in the spirit of Block's load balancer.
+
+    Scores each shard with a fluid-model *predicted clearing time* for the
+    incoming gang::
+
+        score(shard) = (backlog_gpu_seconds + job.num_gpus * job.duration)
+                       / healthy_capacity
+
+    i.e. the time a work-conserving shard needs to drain everything already
+    committed to it plus the new gang, given its compute-weighted capacity.
+    Unlike instantaneous utilisation this looks *forward*: a shard running
+    one near-finished job beats a shard at equal utilisation running jobs
+    with hours of remaining work, and heterogeneous shards are normalised by
+    their actual capacity.  Shards with zero healthy capacity score infinite
+    and are only chosen when every shard is down (deterministic id
+    tie-break).
+    """
+
+    name = "queue-delay"
+
+    def route(self, job: Job, shards: Sequence[ShardView]) -> int:
+        def score(view: ShardView) -> Tuple[float, int]:
+            capacity = view.cluster_state.healthy_capacity()
+            if capacity <= 0:
+                return (math.inf, view.shard_id)
+            backlog = view.outstanding_gpu_seconds()
+            demand = job.num_gpus * job.duration
+            return ((backlog + demand) / capacity, view.shard_id)
+
+        return min(shards, key=score).shard_id
+
+
+#: Router registry: name -> zero-argument factory (routers are stateful, so
+#: every federation run must get a fresh instance, like policies).
+ROUTER_FACTORIES = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    LeastLoadedRouter.name: LeastLoadedRouter,
+    GpuTypeAffinityRouter.name: GpuTypeAffinityRouter,
+    QueueDelayRouter.name: QueueDelayRouter,
+}
+
+
+def router_names() -> List[str]:
+    return sorted(ROUTER_FACTORIES)
+
+
+def make_router(name: str) -> FederationRouter:
+    """Instantiate a stock router by registry name."""
+    if name not in ROUTER_FACTORIES:
+        from repro.core.exceptions import ConfigurationError
+
+        known = ", ".join(router_names())
+        raise ConfigurationError(f"unknown router {name!r}; known: {known}")
+    return ROUTER_FACTORIES[name]()

@@ -163,3 +163,99 @@ def scenario_summary(
         eviction_count=eviction_count,
         capacity_weighted_utilization=capacity_weighted_utilization(round_log),
     )
+
+
+@dataclass(frozen=True)
+class FederationSummary:
+    """Aggregate report over the shards of one federation run.
+
+    ``shards`` carries one :class:`ScenarioSummary` per shard (empty shards
+    included -- their JCT stats are all zero with ``count=0``); ``pooled``
+    recomputes the JCT distribution over the union of all shards' jobs, which
+    is *not* derivable from the per-shard percentiles.  The pooled
+    capacity-weighted utilisation divides summed busy integrals by summed
+    healthy integrals across every shard's round log, so an idle shard drags
+    the federation number down instead of vanishing from an average of
+    ratios.
+    """
+
+    shards: Tuple[ScenarioSummary, ...]
+    pooled: SummaryStats
+    #: Jobs *routed* to each shard (finished or not, tracked or not) -- the
+    #: same quantity :meth:`repro.federation.engine.FederationResult.jobs_per_shard`
+    #: reports; per-shard finished-tracked counts live in
+    #: ``shards[i].stats.count``.
+    jobs_per_shard: Tuple[int, ...]
+    preemption_count: int
+    eviction_count: int
+    capacity_weighted_utilization: float
+    #: max/mean of routed jobs per shard; 1.0 is perfectly balanced,
+    #: ``num_shards`` is everything on one shard, 0.0 if nothing was routed.
+    routing_imbalance: float
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def as_dict(self) -> dict:
+        out = self.pooled.as_dict()
+        out["num_shards"] = self.num_shards
+        out["jobs_per_shard"] = list(self.jobs_per_shard)
+        out["preemption_count"] = self.preemption_count
+        out["eviction_count"] = self.eviction_count
+        out["capacity_weighted_utilization"] = self.capacity_weighted_utilization
+        out["routing_imbalance"] = self.routing_imbalance
+        out["shards"] = [shard.as_dict() for shard in self.shards]
+        return out
+
+
+def federation_summary(
+    shard_jobs: Sequence[Sequence[Job]],
+    shard_round_logs: Sequence[Sequence[object]],
+    shard_eviction_counts: Optional[Sequence[int]] = None,
+    tracked_ids: Optional[Sequence[int]] = None,
+) -> FederationSummary:
+    """Aggregate per-shard runs into one :class:`FederationSummary`.
+
+    Inputs are parallel sequences, one entry per shard; a shard that was
+    never routed a job contributes an empty job list (and its round log of
+    idle rounds still weighs into the pooled utilisation).  ``tracked_ids``
+    restricts every JCT statistic -- per shard and pooled -- to the global
+    tracked window; per-shard summaries simply see the subset of tracked ids
+    that landed on them.
+    """
+    if len(shard_jobs) != len(shard_round_logs):
+        raise ValueError(
+            f"shard_jobs ({len(shard_jobs)}) and shard_round_logs "
+            f"({len(shard_round_logs)}) must have one entry per shard"
+        )
+    if shard_eviction_counts is None:
+        shard_eviction_counts = [0] * len(shard_jobs)
+    if len(shard_eviction_counts) != len(shard_jobs):
+        raise ValueError(
+            f"shard_eviction_counts ({len(shard_eviction_counts)}) must have "
+            f"one entry per shard ({len(shard_jobs)})"
+        )
+    shards = tuple(
+        scenario_summary(jobs, tracked_ids, round_log, eviction_count=evictions)
+        for jobs, round_log, evictions in zip(
+            shard_jobs, shard_round_logs, shard_eviction_counts
+        )
+    )
+    pooled_jobs = [job for jobs in shard_jobs for job in jobs]
+    pooled = jct_summary(pooled_jobs, tracked_ids)
+    # Concatenating the logs pools the busy/healthy integrals: the helper
+    # sums both across all records before dividing.
+    pooled_log = [record for round_log in shard_round_logs for record in round_log]
+    counts = tuple(len(jobs) for jobs in shard_jobs)
+    mean_count = sum(counts) / len(counts) if counts else 0.0
+    imbalance = max(counts) / mean_count if mean_count > 0 else 0.0
+    return FederationSummary(
+        shards=shards,
+        pooled=pooled,
+        jobs_per_shard=counts,
+        preemption_count=sum(shard.preemption_count for shard in shards),
+        eviction_count=sum(shard.eviction_count for shard in shards),
+        capacity_weighted_utilization=capacity_weighted_utilization(pooled_log),
+        routing_imbalance=imbalance,
+    )

@@ -141,6 +141,7 @@ class Simulator:
         fast_forward: bool = True,
         job_state: Optional[JobState] = None,
         manager_factory: Optional[Callable[..., BloxManager]] = None,
+        allow_empty_workload: bool = False,
     ) -> None:
         from repro.policies.admission.accept_all import AcceptAll
         from repro.policies.placement.consolidated import ConsolidatedPlacement
@@ -151,7 +152,10 @@ class Simulator:
         self.cluster_state = cluster_state
         self.job_state = job_state if job_state is not None else JobState()
         self.jobs = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
-        if not self.jobs:
+        if not self.jobs and not allow_empty_workload:
+            # Federation shards start empty and receive jobs via routing
+            # (allow_empty_workload=True); everywhere else an empty workload
+            # is a configuration mistake.
             raise ConfigurationError("cannot simulate an empty workload")
         self.scheduling_policy = scheduling_policy
         self.placement_policy = placement_policy or ConsolidatedPlacement()
@@ -231,6 +235,15 @@ class Simulator:
             and manager_cls.next_event_time is ClusterManager.next_event_time
         ):
             self.fast_forward = False
+
+        # Loop state lives on the instance so the loop is *resumable*: the
+        # federation layer (src/repro/federation/) pauses a shard's loop at
+        # routing events, submits routed jobs, and resumes it -- see
+        # :meth:`_advance_loop`.  ``run()`` still drives a single
+        # start-to-finish pass over this state.
+        self._round_log: List[RoundRecord] = []
+        self._eviction_count = 0
+        self._wall_time = 0.0
 
     # ------------------------------------------------------------------
 
@@ -667,82 +680,102 @@ class Simulator:
         round_log.append(self._round_record())
         return False
 
-    def run(self) -> SimulationResult:
-        """Run the scheduling loop until every tracked job finished."""
+    def _advance_loop(self, stop_time: Optional[float]) -> bool:
+        """Drive the scheduling loop; return ``True`` once the run finished.
+
+        With ``stop_time=None`` this is the classic start-to-finish loop.
+        With a bound, the loop *pauses* -- returns ``False`` -- at the top of
+        the first round whose start time is ``>= stop_time``, before any of
+        that round's steps execute.  Because rounds are atomic and all loop
+        state (clock, round log, eviction count) lives on the instance, a
+        paused loop can be resumed (possibly with new jobs submitted to the
+        manager's wait queue in between) and replays exactly the rounds a
+        single uninterrupted run would: the federation layer relies on this to
+        interleave shard execution with routing decisions.  ``False`` with the
+        round budget exhausted means the run did not finish (callers decide
+        whether that is an error).
+        """
         mgr = self.manager
-        round_log: List[RoundRecord] = []
-        finished = False
-        eviction_count = 0
+        round_log = self._round_log
         wall_start = time.perf_counter()
+        try:
+            while mgr.round_number < self.max_rounds:
+                if stop_time is not None and mgr.current_time >= stop_time:
+                    return False  # paused before this round's steps ran
 
-        while mgr.round_number < self.max_rounds:
-            # 1. Cluster membership changes (failures force a reschedule of jobs).
-            affected = mgr.update_cluster(self.cluster_state)
-            for job_id in affected:
-                if job_id in self.job_state:
-                    job = self.job_state.get(job_id)
-                    if job.status == JobStatus.RUNNING:
-                        mgr.preemptor.preempt(job, self.cluster_state, mgr.current_time)
-                        eviction_count += 1
+                # 1. Cluster membership changes (failures force a reschedule).
+                affected = mgr.update_cluster(self.cluster_state)
+                for job_id in affected:
+                    if job_id in self.job_state:
+                        job = self.job_state.get(job_id)
+                        if job.status == JobStatus.RUNNING:
+                            mgr.preemptor.preempt(job, self.cluster_state, mgr.current_time)
+                            self._eviction_count += 1
 
-            # 2./3. Progress from the previous round, then free completed jobs.
-            mgr.update_metrics(self.cluster_state, self.job_state)
-            mgr.prune_completed_jobs(self.cluster_state, self.job_state)
+                # 2./3. Progress from the previous round, then free completed jobs.
+                mgr.update_metrics(self.cluster_state, self.job_state)
+                mgr.prune_completed_jobs(self.cluster_state, self.job_state)
 
-            if self._tracked_all_finished():
-                finished = True
-                break
+                if self._tracked_all_finished():
+                    return True
 
-            # 4. Admission of newly arrived jobs.
-            self.job_state.current_time = mgr.current_time
-            new_jobs = mgr.pop_wait_queue()
-            accepted = self.admission_policy.accept(new_jobs, self.cluster_state, self.job_state)
-            self.job_state.add_new_jobs(accepted, mgr.current_time)
+                # 4. Admission of newly arrived jobs.
+                self.job_state.current_time = mgr.current_time
+                new_jobs = mgr.pop_wait_queue()
+                accepted = self.admission_policy.accept(new_jobs, self.cluster_state, self.job_state)
+                self.job_state.add_new_jobs(accepted, mgr.current_time)
 
-            # 5. Scheduling and placement.
-            schedule = self.scheduling_policy.schedule(self.job_state, self.cluster_state)
-            decision = self.placement_policy.place(schedule, self.cluster_state, self.job_state)
+                # 5. Scheduling and placement.
+                schedule = self.scheduling_policy.schedule(self.job_state, self.cluster_state)
+                decision = self.placement_policy.place(schedule, self.cluster_state, self.job_state)
 
-            # 6. Apply the decision (recording, for the decision-stable
-            # fast-forward path, whether it was a pure lease renewal; this
-            # must be judged against the pre-application state).
-            if self.fast_forward and self._policy_event_aware:
-                self._last_decision_noop = self._decision_is_noop(decision)
-            mgr.exec_jobs(decision, self.cluster_state, self.job_state)
+                # 6. Apply the decision (recording, for the decision-stable
+                # fast-forward path, whether it was a pure lease renewal; this
+                # must be judged against the pre-application state).
+                if self.fast_forward and self._policy_event_aware:
+                    self._last_decision_noop = self._decision_is_noop(decision)
+                mgr.exec_jobs(decision, self.cluster_state, self.job_state)
 
-            # 7. Metric collection.
-            for collector in self.metric_collectors:
-                collector.collect(self.job_state, self.cluster_state, mgr.current_time)
+                # 7. Metric collection.
+                for collector in self.metric_collectors:
+                    collector.collect(self.job_state, self.cluster_state, mgr.current_time)
 
-            round_log.append(self._round_record())
+                round_log.append(self._round_record())
 
-            if self._stalled():
-                finished = True
-                break
+                if self._stalled():
+                    return True
 
-            # 8. Event-skipping: jump over rounds in which nothing can change.
-            if self.fast_forward and self._fast_forward(round_log):
-                finished = True
-                break
+                # 8. Event-skipping: jump over rounds in which nothing can change.
+                if self.fast_forward and self._fast_forward(round_log):
+                    return True
 
-            mgr.advance_time()
+                mgr.advance_time()
+            return False
+        finally:
+            self._wall_time += time.perf_counter() - wall_start
 
-        if not finished:
-            raise SimulationError(
-                f"simulation did not finish within {self.max_rounds} rounds; "
-                "the workload is likely too large for the cluster or a policy is starving jobs"
-            )
-
+    def build_result(self) -> SimulationResult:
+        """Snapshot the loop state into a :class:`SimulationResult`."""
+        mgr = self.manager
         return SimulationResult(
             jobs=self.job_state.all_jobs(),
             tracked_job_ids=self.tracked_job_ids,
             round_duration=mgr.round_duration,
             rounds=mgr.round_number,
             end_time=mgr.current_time,
-            round_log=round_log,
-            wall_time_s=time.perf_counter() - wall_start,
-            eviction_count=eviction_count,
+            round_log=self._round_log,
+            wall_time_s=self._wall_time,
+            eviction_count=self._eviction_count,
         )
+
+    def run(self) -> SimulationResult:
+        """Run the scheduling loop until every tracked job finished."""
+        if not self._advance_loop(None):
+            raise SimulationError(
+                f"simulation did not finish within {self.max_rounds} rounds; "
+                "the workload is likely too large for the cluster or a policy is starving jobs"
+            )
+        return self.build_result()
 
 
 def run_simulation(

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Link-check the documentation so documented paths and anchors can't rot.
+
+Checks, for ``README.md`` and every ``docs/*.md``:
+
+* **relative links** ``[text](path)`` resolve to an existing file or
+  directory (relative to the linking file, like GitHub renders them);
+* **anchor links** ``[text](#section)`` and ``[text](path#section)`` point
+  at a heading that actually exists in the target file (GitHub's slug
+  rules: lowercase, punctuation stripped, spaces to dashes, ``-N`` suffix
+  for duplicates);
+* **backtick file references** -- inline code spans that look like repo
+  paths (``src/...``, ``docs/...``, ``tests/...``, ``tools/...`` or a
+  top-level ``*.md``/``*.json``/``*.py``/``*.yml``) name files that exist,
+  so prose like "see `src/repro/federation/engine.py`" breaks CI when the
+  file moves.
+
+External ``http(s)://`` / ``mailto:`` links are skipped (CI has no network
+guarantee).  Exit status is the number of broken references; the CLI smoke
+checks (documented commands answering ``--help``) live next to this in the
+CI docs job.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target) -- images share the syntax.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: ATX headings, used to build the anchor table of a file.
+HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+#: Inline code spans that look like repo-relative file paths.
+CODE_SPAN_RE = re.compile(r"`([^`\n]+)`")
+PATHLIKE_RE = re.compile(
+    r"^(?:src|docs|tests|tools|experiments)/[\w./\-]+$|^[\w.\-]+\.(?:md|json|py|yml|toml)$"
+)
+#: Path-like spans that are *patterns or outputs*, not checked-in files.
+PATH_ALLOWLIST = {
+    "docs/*.md",
+}
+
+
+def strip_code_blocks(text: str) -> str:
+    """Remove fenced code blocks (``` ... ```): their contents are not links."""
+    out: List[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def github_slug(heading: str, seen: Dict[str, int]) -> str:
+    """GitHub's heading-to-anchor slug, with duplicate numbering."""
+    # Strip markdown emphasis/code markers, then non-word punctuation.
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    slug = text.replace(" ", "-")
+    count = seen.get(slug, 0)
+    seen[slug] = count + 1
+    return slug if count == 0 else f"{slug}-{count}"
+
+
+def anchors_of(path: Path) -> List[str]:
+    seen: Dict[str, int] = {}
+    anchors = []
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING_RE.match(line)
+        if match:
+            anchors.append(github_slug(match.group(2), seen))
+    return anchors
+
+
+def check_file(md_path: Path) -> List[str]:
+    errors: List[str] = []
+    raw = md_path.read_text()
+    text = strip_code_blocks(raw)
+    rel = md_path.relative_to(REPO_ROOT)
+
+    def check_anchor(target_file: Path, anchor: str, link: str) -> None:
+        if anchor not in anchors_of(target_file):
+            errors.append(f"{rel}: broken anchor {link!r} (no heading slug #{anchor})")
+
+    for match in LINK_RE.finditer(text):
+        link = match.group(1)
+        if link.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = link.partition("#")
+        if not path_part:
+            check_anchor(md_path, anchor, link)
+            continue
+        target = (md_path.parent / path_part).resolve()
+        if not target.exists():
+            errors.append(f"{rel}: broken link {link!r} (no such file {path_part})")
+            continue
+        if anchor:
+            if target.suffix.lower() != ".md":
+                errors.append(f"{rel}: anchor on non-markdown target {link!r}")
+            else:
+                check_anchor(target, anchor, link)
+
+    for match in CODE_SPAN_RE.finditer(text):
+        span = match.group(1).strip()
+        if span in PATH_ALLOWLIST or not PATHLIKE_RE.match(span):
+            continue
+        if not (REPO_ROOT / span).exists():
+            errors.append(f"{rel}: stale file reference `{span}` (no such file)")
+    return errors
+
+
+def main() -> int:
+    files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+    missing = [f for f in files if not f.exists()]
+    errors: List[str] = [
+        f"missing documentation file: {f.relative_to(REPO_ROOT)}" for f in missing
+    ]
+    for md_path in files:
+        if md_path.exists():
+            errors.extend(check_file(md_path))
+    if errors:
+        print(f"check_docs: {len(errors)} broken reference(s)", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        # Exit status = number of broken references (saturated so a huge
+        # count cannot wrap to 0 through the 8-bit exit-code space).
+        return min(len(errors), 125)
+    checked = ", ".join(str(f.relative_to(REPO_ROOT)) for f in files)
+    print(f"check_docs: OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
