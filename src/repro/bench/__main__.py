@@ -70,6 +70,44 @@ def main(argv=None) -> int:
             "are for parity-only checks; only used with --federation)"
         ),
     )
+    parser.add_argument(
+        "--shards",
+        default=None,
+        help=(
+            "comma-separated shard counts for the federation matrix, e.g. "
+            "'1,2,4,8' (default: the built-in matrix; only used with "
+            "--federation)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes per parallel federation cell (default: one per "
+            "shard, capped at usable cores and 8; only used with --federation)"
+        ),
+    )
+    parser.add_argument(
+        "--routers",
+        default=None,
+        help=(
+            "comma-separated router names to benchmark, e.g. "
+            "'round-robin,queue-delay' (default: all; only used with "
+            "--federation)"
+        ),
+    )
+    parser.add_argument(
+        "--stream",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "append the 64-shard streaming demonstration: N jobs consumed "
+            "from a lazy arrival iterator with bounded parent memory (only "
+            "used with --federation)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.runtime:
         default_out = "BENCH_runtime.json"
@@ -82,7 +120,15 @@ def main(argv=None) -> int:
         report = run_runtime_bench(smoke=args.smoke, out_path=out_path)
     elif args.federation:
         report = run_federation_bench(
-            smoke=args.smoke, out_path=out_path, processes=args.processes
+            smoke=args.smoke,
+            out_path=out_path,
+            processes=args.processes,
+            shard_counts=(
+                [int(part) for part in args.shards.split(",")] if args.shards else None
+            ),
+            workers=args.workers,
+            routers=args.routers.split(",") if args.routers else None,
+            stream_jobs=args.stream,
         )
     else:
         report = run_core_bench(
@@ -103,12 +149,25 @@ def main(argv=None) -> int:
         failed = []
         if not report["all_schedule_parity"]:
             failed.append("schedule parity")
+        if not report["all_parallel_parity"]:
+            failed.append("serial/parallel parity")
         if not report["multi_shard_gain_ok"]:
             failed.append(
                 "multi-shard rounds/s gain (need >= 2 routers, got "
                 + str(report["multi_shard_gain_routers"])
                 + ")"
             )
+        scaling = report["scaling"]
+        if not scaling["parallel_parity"]:
+            failed.append("scaling-cell serial/parallel parity")
+        if not scaling["speedup_ok"]:
+            failed.append(
+                f"parallel speedup >= {scaling['speedup_gate']}x "
+                f"(measured {scaling['measured_speedup']}x)"
+            )
+        stream = report.get("stream_demo")
+        if stream is not None and not stream["all_jobs_finished"]:
+            failed.append("stream demo lost jobs")
         if failed:
             print(f"federation bench FAILED: {', '.join(failed)}", file=sys.stderr)
             return 1

@@ -222,6 +222,26 @@ class Job:
                 f"convergence_fraction must be in (0, 1], got {self.convergence_fraction}"
             )
 
+    # --- pickling ---------------------------------------------------------
+
+    def __getstate__(self):
+        """Pickle support (federation workers ship jobs across processes).
+
+        ``_registry`` is the backref to the owning
+        :class:`~repro.core.job_state.JobState` installed by ``track``; it is
+        runtime wiring, and keeping it would drag the entire registry (and
+        every other job in it) into every pickled job.  It is dropped here and
+        restored by ``JobState.__setstate__`` on the registry side, so a job
+        pickled *inside* its registry round-trips fully bound while a job
+        pickled alone arrives unbound (track it to re-bind).
+        """
+        state = self.__dict__.copy()
+        state.pop("_registry", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+
     # --- derived quantities ---------------------------------------------
 
     @property

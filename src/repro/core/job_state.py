@@ -155,6 +155,18 @@ class JobState:
         state["_view_cache"] = {}
         return state
 
+    def __setstate__(self, state) -> None:
+        """Re-install the registry backref each job's ``__getstate__`` dropped.
+
+        After this, status writes on the unpickled jobs keep the unpickled
+        registry's indexes in sync exactly as on the original -- the contract
+        the federation worker protocol relies on when a whole shard result
+        crosses the process boundary.
+        """
+        self.__dict__.update(state)
+        for job in self._jobs.values():
+            job.__dict__["_registry"] = self
+
     # ------------------------------------------------------------------
     # Status index maintenance
     # ------------------------------------------------------------------

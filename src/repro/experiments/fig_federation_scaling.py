@@ -1,4 +1,4 @@
-"""Federation scaling: simulation throughput vs shard count, 1 -> 8 shards.
+"""Federation scaling: simulation throughput vs shard count and worker count.
 
 The horizontal-scaling headline of the federation layer (``docs/federation.md``):
 the 64-node benchmark cluster is split into 1..8 equal shards, each running
@@ -9,6 +9,13 @@ constant across the sweep, so the series isolates what sharding buys
 shards -- higher aggregate rounds/s) and what it costs (loss of global
 placement freedom -- makespan/JCT inflation), and how much of that cost a
 predictive router recovers over the static baseline.
+
+``--workers`` adds the cores axis: the same sweep executed on the
+multiprocess :class:`~repro.federation.parallel.ParallelFederationEngine`
+with the given worker count(s) (``0`` = the in-process serial engine), so
+one table shows how wall clock scales with processes at fixed shards --
+results are bit-identical across the workers axis by construction, only the
+timing columns move.
 """
 
 from __future__ import annotations
@@ -18,13 +25,16 @@ from typing import Sequence
 
 from repro.bench import workload
 from repro.experiments.harness import ExperimentTable
-from repro.federation.engine import FederationEngine, build_uniform_shards
+from repro.federation.engine import FederationEngine, UniformShardFactory
+from repro.federation.parallel import ParallelFederationEngine
 from repro.federation.router import make_router, router_names
 from repro.policies.placement.consolidated import ConsolidatedPlacement
 from repro.policies.scheduling.fifo import FifoScheduling
 
 DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
 DEFAULT_ROUTERS = ("round-robin", "queue-delay")
+#: Default workers axis: serial engine only (the historical sweep).
+DEFAULT_WORKERS = (0,)
 
 
 def run_federation_point(
@@ -32,19 +42,34 @@ def run_federation_point(
     num_shards: int,
     total_nodes: int,
     smoke: bool = False,
+    workers: int = 0,
 ):
-    """One sweep point: a fresh federation of ``num_shards`` equal shards."""
+    """One sweep point: a fresh federation of ``num_shards`` equal shards.
+
+    ``workers=0`` runs the in-process serial engine; ``workers>=1`` the
+    multiprocess engine with that many worker processes (``1`` degenerates to
+    the serial path by design).
+    """
     trace = workload.bench_trace(smoke=smoke)
-    shards = build_uniform_shards(
-        num_shards=num_shards,
+    factory = UniformShardFactory(
         nodes_per_shard=total_nodes // num_shards,
         scheduling_factory=FifoScheduling,
         placement_factory=ConsolidatedPlacement,
         gpus_per_node=workload.GPUS_PER_NODE,
         round_duration=workload.ROUND_DURATION,
     )
+    if workers >= 1:
+        engine = ParallelFederationEngine(
+            factory=factory,
+            num_shards=num_shards,
+            router=make_router(router),
+            jobs=trace.fresh_jobs(),
+            tracked_job_ids=trace.tracked_ids(),
+            workers=min(workers, num_shards),
+        )
+        return engine.run()
     engine = FederationEngine(
-        shards,
+        factory.build_all(num_shards),
         make_router(router),
         trace.fresh_jobs(),
         tracked_job_ids=trace.tracked_ids(),
@@ -56,24 +81,27 @@ def run_federation_scaling(
     shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
     routers: Sequence[str] = DEFAULT_ROUTERS,
     smoke: bool = False,
+    workers: Sequence[int] = DEFAULT_WORKERS,
 ) -> ExperimentTable:
-    """Throughput/quality series across shard counts, one row per (router, N).
+    """Throughput/quality series, one row per (router, shards, workers).
 
     ``shard_counts`` is swept in ascending order and ``throughput_scaling``
-    is normalised to the smallest count (the closest row to a 1-shard
-    baseline), so the column keeps its meaning regardless of the order the
-    caller passes counts in.
+    is normalised per router to the first (serial, smallest-count) row, so
+    the column reads as speedup over the closest thing to a 1-shard serial
+    baseline regardless of the order the caller passes counts in.
     """
     shard_counts = sorted(set(shard_counts))
+    workers = sorted(set(workers))
     total_nodes = 16 if smoke else 64
     table = ExperimentTable(
         name="fig-federation-scaling",
         description=(
             f"Sharded federation on the {total_nodes * workload.GPUS_PER_NODE}-GPU "
             "Philly benchmark workload: aggregate rounds/s and schedule quality "
-            "vs shard count, per router (total capacity held constant)."
+            "vs shard count and worker processes (total capacity held constant; "
+            "workers=0 is the in-process serial engine)."
         ),
-        metadata={"total_nodes": total_nodes, "smoke": smoke},
+        metadata={"total_nodes": total_nodes, "smoke": smoke, "workers": list(workers)},
     )
     for router in routers:
         baseline_rps = None
@@ -82,32 +110,42 @@ def run_federation_scaling(
                 raise ValueError(
                     f"shard count {count} does not divide {total_nodes} nodes"
                 )
-            result = run_federation_point(router, count, total_nodes, smoke=smoke)
-            stats = result.pooled_stats()
-            rps = (
-                result.total_rounds() / result.wall_time_s
-                if result.wall_time_s > 0
-                else float("inf")
-            )
-            if baseline_rps is None:
-                baseline_rps = rps
-            table.add_row(
-                router=router,
-                num_shards=count,
-                rounds_per_sec=round(rps, 1),
-                throughput_scaling=round(rps / baseline_rps, 2),
-                makespan_h=round(stats.makespan / 3600.0, 2),
-                avg_jct_h=round(stats.avg_jct / 3600.0, 2),
-                p99_jct_h=round(stats.p99_jct / 3600.0, 2),
-                finished=stats.count,
-            )
+            for worker_count in workers:
+                result = run_federation_point(
+                    router, count, total_nodes, smoke=smoke, workers=worker_count
+                )
+                stats = result.pooled_stats()
+                rps = (
+                    result.total_rounds() / result.wall_time_s
+                    if result.wall_time_s > 0
+                    else float("inf")
+                )
+                if baseline_rps is None:
+                    baseline_rps = rps
+                table.add_row(
+                    router=router,
+                    num_shards=count,
+                    workers=result.workers,
+                    rounds_per_sec=round(rps, 1),
+                    throughput_scaling=round(rps / baseline_rps, 2),
+                    wall_s=round(result.wall_time_s, 3),
+                    routing_s=round(result.routing_time_s, 3),
+                    advance_s=round(result.advance_time_s, 3),
+                    makespan_h=round(stats.makespan / 3600.0, 2),
+                    avg_jct_h=round(stats.avg_jct / 3600.0, 2),
+                    p99_jct_h=round(stats.p99_jct / 3600.0, 2),
+                    finished=stats.count,
+                )
     return table
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.fig_federation_scaling",
-        description="Federation throughput scaling, 1 -> 8 shards at constant capacity.",
+        description=(
+            "Federation throughput scaling, 1 -> 8 shards at constant "
+            "capacity, optionally across worker-process counts."
+        ),
     )
     parser.add_argument(
         "--smoke",
@@ -126,12 +164,22 @@ def main(argv=None) -> int:
         choices=router_names(),
         help="router(s) to sweep; repeatable (default: round-robin, queue-delay)",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        action="append",
+        help=(
+            "worker-process count to sweep; repeatable; 0 = in-process serial "
+            "engine (default: 0 only)"
+        ),
+    )
     args = parser.parse_args(argv)
     shard_counts = tuple(args.shards) if args.shards else DEFAULT_SHARD_COUNTS
     if args.smoke:
         shard_counts = tuple(c for c in shard_counts if c <= 4) or (1, 2, 4)
     routers = tuple(args.router) if args.router else DEFAULT_ROUTERS
-    table = run_federation_scaling(shard_counts, routers, smoke=args.smoke)
+    workers = tuple(args.workers) if args.workers else DEFAULT_WORKERS
+    table = run_federation_scaling(shard_counts, routers, smoke=args.smoke, workers=workers)
     print(table.to_text())
     return 0
 

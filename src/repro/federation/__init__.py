@@ -4,15 +4,30 @@ The horizontal-scaling layer of the reproduction (see ``docs/federation.md``):
 N independent shards -- each a full cluster + policy stack, optionally with
 its own scenario timeline -- coordinated by a pluggable
 :class:`~repro.federation.router.FederationRouter` that assigns each incoming
-gang to a shard.  Per-shard event-skipping fast-forward stays active between
-routing events, and every per-shard schedule is parity-checked against
-per-round stepping (``python -m repro.bench --federation``).
+gang to a shard.  Shards run either in-process (serial lockstep,
+:class:`FederationEngine`) or as worker processes behind a message-passing
+protocol (:class:`ParallelFederationEngine`) with bit-identical results.
+Per-shard event-skipping fast-forward stays active between routing events,
+and every per-shard schedule is parity-checked against per-round stepping and
+serial-vs-parallel execution (``python -m repro.bench --federation``).
 """
 
 from repro.federation.engine import (
     FederationEngine,
     FederationResult,
+    LocalShardBackend,
+    ScenarioManagerFactory,
+    ShardBackend,
+    UniformShardFactory,
     build_uniform_shards,
+    drive_federation,
+)
+from repro.federation.parallel import (
+    FederationStreamResult,
+    ParallelFederationEngine,
+    ShardFinishStats,
+    WorkerPoolBackend,
+    default_worker_count,
 )
 from repro.federation.router import (
     ROUTER_FACTORIES,
@@ -21,9 +36,10 @@ from repro.federation.router import (
     LeastLoadedRouter,
     QueueDelayRouter,
     RoundRobinRouter,
-    ShardView,
+    ShardViewSummary,
     make_router,
     router_names,
+    summarize_shard,
 )
 from repro.federation.shard import BoundedClusterManager, ShardSimulator
 
@@ -32,14 +48,25 @@ __all__ = [
     "FederationEngine",
     "FederationResult",
     "FederationRouter",
+    "FederationStreamResult",
     "GpuTypeAffinityRouter",
     "LeastLoadedRouter",
+    "LocalShardBackend",
+    "ParallelFederationEngine",
     "QueueDelayRouter",
     "ROUTER_FACTORIES",
     "RoundRobinRouter",
+    "ScenarioManagerFactory",
+    "ShardBackend",
+    "ShardFinishStats",
     "ShardSimulator",
-    "ShardView",
+    "ShardViewSummary",
+    "UniformShardFactory",
+    "WorkerPoolBackend",
     "build_uniform_shards",
+    "default_worker_count",
+    "drive_federation",
     "make_router",
     "router_names",
+    "summarize_shard",
 ]

@@ -20,35 +20,57 @@ bound) -- then routes every gang whose arrival time has been reached, in
 global ``(arrival_time, job_id)`` order.  Once the stream is exhausted the
 shards drain independently to their own completion times.
 
+The loop itself is written against a :class:`ShardBackend` -- ``advance``,
+``submit``, ``finish`` -- with two implementations: the in-process
+:class:`LocalShardBackend` here, and the multiprocess worker pool in
+:mod:`repro.federation.parallel`.  Routing consumes only the
+:class:`~repro.federation.router.ShardViewSummary` messages the backend
+returns, and same-round refreshes go through
+:meth:`~repro.federation.router.ShardViewSummary.with_queued` on the parent
+side in both cases, so the two backends feed routers byte-for-byte identical
+inputs.
+
 Determinism and parity: shard states at every pause point are bit-identical
 between fast-forward and per-round stepping (the simulator's parity
 guarantee), routers are deterministic functions of those states, hence the
 *routing decisions* -- and therefore every per-shard schedule -- are
-identical too.  ``python -m repro.bench --federation`` checks this for every
-router x shard-count cell.
+identical too, serial or parallel.  ``python -m repro.bench --federation``
+checks this for every router x shard-count cell, and additionally checks
+serial == parallel for the worker-pool cells.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 from repro.cluster.builder import build_cluster
 from repro.core.abstractions import ClusterManager
 from repro.core.exceptions import ConfigurationError, SimulationError
 from repro.core.job import Job
-from repro.federation.router import FederationRouter, ShardView
+from repro.federation.router import FederationRouter, ShardViewSummary
 from repro.federation.shard import ShardSimulator
 from repro.metrics.summary import (
     FederationSummary,
+    FederationTiming,
     SummaryStats,
     federation_summary,
     jct_summary,
 )
 from repro.simulator.engine import SimulationResult
 
-__all__ = ["FederationEngine", "FederationResult", "build_uniform_shards"]
+__all__ = [
+    "FederationEngine",
+    "FederationResult",
+    "ShardBackend",
+    "LocalShardBackend",
+    "UniformShardFactory",
+    "ScenarioManagerFactory",
+    "build_uniform_shards",
+    "drive_federation",
+    "DriveStats",
+]
 
 
 @dataclass
@@ -64,6 +86,16 @@ class FederationResult:
     #: Wall-clock seconds of the whole federation run (shard execution plus
     #: routing); the per-shard ``wall_time_s`` fields sum to slightly less.
     wall_time_s: float = 0.0
+    #: Wall-clock seconds the driver spent inside router decisions and gang
+    #: submission (the serialised, parent-side section of the loop).
+    routing_time_s: float = 0.0
+    #: Wall-clock seconds spent advancing/draining shards (lockstep
+    #: ``advance`` plus the final ``finish``); in parallel mode this is the
+    #: parent's wait, bounded below by the slowest shard per step.
+    advance_time_s: float = 0.0
+    #: Worker processes that executed the shards; 0 means the in-process
+    #: serial engine.
+    workers: int = 0
 
     @property
     def num_shards(self) -> int:
@@ -72,6 +104,15 @@ class FederationResult:
     def total_rounds(self) -> int:
         """Rounds executed across all shards (the federation's work unit)."""
         return sum(result.rounds for result in self.shard_results)
+
+    def shard_busy_time_s(self) -> List[float]:
+        """Per-shard simulator wall time: the straggler/balance profile.
+
+        Each entry is the shard's own in-loop execution time.  In parallel
+        mode ``max``/``sum`` of this bounds the achievable speedup (the
+        lockstep barrier waits for the slowest shard at every routing event).
+        """
+        return [result.wall_time_s for result in self.shard_results]
 
     def jobs(self) -> List[Job]:
         """All jobs across shards, sorted by job id."""
@@ -94,6 +135,16 @@ class FederationResult:
     def avg_jct(self) -> float:
         return self.pooled_stats().avg_jct
 
+    def timing(self) -> FederationTiming:
+        """Wall-time breakdown (routing vs advancing vs per-shard busy)."""
+        return FederationTiming(
+            wall_time_s=self.wall_time_s,
+            routing_time_s=self.routing_time_s,
+            advance_time_s=self.advance_time_s,
+            shard_busy_time_s=tuple(self.shard_busy_time_s()),
+            workers=self.workers,
+        )
+
     def summary(self) -> FederationSummary:
         """Aggregate per-shard scenario summaries plus pooled statistics."""
         return federation_summary(
@@ -101,7 +152,165 @@ class FederationResult:
             shard_round_logs=[result.round_log for result in self.shard_results],
             shard_eviction_counts=[result.eviction_count for result in self.shard_results],
             tracked_ids=self.tracked_job_ids,
+            timing=self.timing(),
         )
+
+
+# ----------------------------------------------------------------------
+# Backend abstraction: how the drive loop talks to its shards
+# ----------------------------------------------------------------------
+
+
+class ShardBackend:
+    """What the routing loop needs from a set of shards.
+
+    Implementations: :class:`LocalShardBackend` (shards live in this process)
+    and :class:`repro.federation.parallel.WorkerPoolBackend` (shards live in
+    worker processes behind pipes).  The loop only ever sees
+    :class:`~repro.federation.router.ShardViewSummary` values, never live
+    shard state, which is what makes the two interchangeable bit-for-bit.
+    """
+
+    num_shards: int
+    round_duration: float
+
+    def advance(self, stop_time: float) -> List[ShardViewSummary]:
+        """Advance every shard to the pause point before ``stop_time``.
+
+        Returns one summary per shard, indexed by ``shard_id``.
+        """
+        raise NotImplementedError
+
+    def submit(self, shard_id: int, job: Job) -> None:
+        """Queue ``job`` on a paused shard (applied before its next advance)."""
+        raise NotImplementedError
+
+    def finish(self) -> List[SimulationResult]:
+        """Drain every shard to completion and collect its result."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources (terminate workers); idempotent."""
+
+
+class LocalShardBackend(ShardBackend):
+    """The serial backend: shards advanced in-process, one after another."""
+
+    def __init__(self, shards: Sequence[ShardSimulator]) -> None:
+        self.shards = list(shards)
+        self.num_shards = len(self.shards)
+        self.round_duration = self.shards[0].manager.round_duration
+
+    def advance(self, stop_time: float) -> List[ShardViewSummary]:
+        for shard in self.shards:
+            shard.run_until(stop_time)
+        return [shard.view_summary() for shard in self.shards]
+
+    def submit(self, shard_id: int, job: Job) -> None:
+        self.shards[shard_id].submit(job)
+
+    def finish(self) -> List[SimulationResult]:
+        return [shard.finish() for shard in self.shards]
+
+
+# ----------------------------------------------------------------------
+# The shared drive loop (serial and parallel engines both run this)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DriveStats:
+    """What :func:`drive_federation` measured while routing the stream."""
+
+    #: job id -> shard index; ``None`` when assignment tracking was disabled
+    #: (streaming runs keep only the per-shard counters below).
+    assignments: Optional[Dict[int, int]]
+    jobs_per_shard: List[int]
+    routing_time_s: float
+    advance_time_s: float
+    total_jobs: int
+
+
+def drive_federation(
+    backend: ShardBackend,
+    router: FederationRouter,
+    arrivals: Iterable[Job],
+    record_assignments: bool = True,
+) -> DriveStats:
+    """Route a sorted arrival stream over a backend's shards.
+
+    ``arrivals`` must be ordered by ``(arrival_time, job_id)`` -- the global
+    deterministic routing order -- and may be a lazy iterator: the loop holds
+    one lookahead job, so a streaming run's parent-side memory is bounded by
+    the routing bookkeeping, not the trace (disable ``record_assignments`` to
+    drop the only per-job state).
+
+    Summaries are refreshed *incrementally*: ``backend.advance`` captures one
+    summary per shard at each pause point, and between two routing decisions
+    at the same pause only the shard that received the previous gang changed
+    -- by exactly its queue terms -- so the loop applies
+    :meth:`~repro.federation.router.ShardViewSummary.with_queued` to that one
+    entry instead of re-materialising every shard's view per gang.
+    """
+    routing_time = 0.0
+    advance_time = 0.0
+    jobs_per_shard = [0] * backend.num_shards
+    assignments: Optional[Dict[int, int]] = {} if record_assignments else None
+    total_jobs = 0
+    stream: Iterator[Job] = iter(arrivals)
+    pending = next(stream, None)
+    if pending is None:
+        raise ConfigurationError("cannot federate an empty workload")
+    last_key = (pending.arrival_time, pending.job_id)
+    while pending is not None:
+        started = time.perf_counter()
+        summaries = list(backend.advance(pending.arrival_time))
+        advance_time += time.perf_counter() - started
+        # All shards share the round grid, so they pause on the same
+        # boundary: the first round start at or after the arrival.
+        now = summaries[0].current_time
+        started = time.perf_counter()
+        while pending is not None and pending.arrival_time <= now:
+            job = pending
+            key = (job.arrival_time, job.job_id)
+            if key < last_key:
+                raise ConfigurationError(
+                    f"arrival stream is not sorted: job {job.job_id} at "
+                    f"t={job.arrival_time} follows {last_key}; deterministic "
+                    "routing requires global (arrival_time, job_id) order"
+                )
+            last_key = key
+            # Feasibility: a gang larger than a shard's entire GPU pool can
+            # never be placed there -- routing it would starve it (and the
+            # shard's loop) forever, so such shards are not offered.
+            feasible = [s for s in summaries if s.total_gpus >= job.num_gpus]
+            if not feasible:
+                raise SimulationError(
+                    f"job {job.job_id} requests {job.num_gpus} GPUs, more "
+                    "than any shard owns; no feasible routing exists"
+                )
+            choice = router.route(job, feasible)
+            if choice not in {s.shard_id for s in feasible}:
+                raise SimulationError(
+                    f"router {router.name!r} returned shard {choice} "
+                    f"for job {job.job_id}, which is not among the "
+                    f"feasible shards {sorted(s.shard_id for s in feasible)}"
+                )
+            backend.submit(choice, job)
+            summaries[choice] = summaries[choice].with_queued(job)
+            jobs_per_shard[choice] += 1
+            total_jobs += 1
+            if assignments is not None:
+                assignments[job.job_id] = choice
+            pending = next(stream, None)
+        routing_time += time.perf_counter() - started
+    return DriveStats(
+        assignments=assignments,
+        jobs_per_shard=jobs_per_shard,
+        routing_time_s=routing_time,
+        advance_time_s=advance_time,
+        total_jobs=total_jobs,
+    )
 
 
 class FederationEngine:
@@ -137,70 +346,112 @@ class FederationEngine:
         else:
             self.tracked_job_ids = list(tracked_job_ids)
 
-    # ------------------------------------------------------------------
-
-    def _views(self) -> List[ShardView]:
-        return [
-            ShardView(
-                shard_id=shard.shard_id,
-                cluster_state=shard.cluster_state,
-                job_state=shard.job_state,
-                current_time=shard.manager.current_time,
-                queued_jobs=tuple(shard.manager.queued_jobs()),
-            )
-            for shard in self.shards
-        ]
-
     def run(self) -> FederationResult:
         """Route every gang, drain every shard, return the combined result."""
         wall_start = time.perf_counter()
-        arrivals = self._arrivals
-        assignments: Dict[int, int] = {}
-        index = 0
-        while index < len(arrivals):
-            next_arrival = arrivals[index].arrival_time
-            for shard in self.shards:
-                shard.run_until(next_arrival)
-            # All shards share the round grid, so they pause on the same
-            # boundary: the first round start at or after the arrival.
-            now = self.shards[0].manager.current_time
-            # Route every gang that round will pop, in global arrival order.
-            # Views are rebuilt per decision so a second gang in the same
-            # round sees the first one in the target shard's queue.
-            while index < len(arrivals) and arrivals[index].arrival_time <= now:
-                job = arrivals[index]
-                index += 1
-                # Feasibility: a gang larger than a shard's entire GPU pool
-                # can never be placed there -- routing it would starve it (and
-                # the shard's loop) forever, so such shards are not offered.
-                views = [
-                    view
-                    for view in self._views()
-                    if view.cluster_state.total_gpus >= job.num_gpus
-                ]
-                if not views:
-                    raise SimulationError(
-                        f"job {job.job_id} requests {job.num_gpus} GPUs, more "
-                        "than any shard owns; no feasible routing exists"
-                    )
-                choice = self.router.route(job, views)
-                if choice not in {view.shard_id for view in views}:
-                    raise SimulationError(
-                        f"router {self.router.name!r} returned shard {choice} "
-                        f"for job {job.job_id}, which is not among the "
-                        f"feasible shards {sorted(v.shard_id for v in views)}"
-                    )
-                self.shards[choice].submit(job)
-                assignments[job.job_id] = choice
-        shard_results = [shard.finish() for shard in self.shards]
+        backend = LocalShardBackend(self.shards)
+        stats = drive_federation(backend, self.router, self._arrivals)
+        started = time.perf_counter()
+        shard_results = backend.finish()
+        advance_time = stats.advance_time_s + (time.perf_counter() - started)
         return FederationResult(
             shard_results=shard_results,
-            assignments=assignments,
+            assignments=stats.assignments or {},
             tracked_job_ids=self.tracked_job_ids,
             router_name=self.router.name,
-            round_duration=self.shards[0].manager.round_duration,
+            round_duration=backend.round_duration,
             wall_time_s=time.perf_counter() - wall_start,
+            routing_time_s=stats.routing_time_s,
+            advance_time_s=advance_time,
+            workers=0,
         )
+
+
+# ----------------------------------------------------------------------
+# Shard construction: picklable factories
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioManagerFactory:
+    """Picklable per-shard cluster-manager factory backed by the registry.
+
+    Calling it with a shard index compiles the named scenario with a
+    shard-specific seed and returns a fresh
+    :class:`~repro.scenarios.timeline.TimelineClusterManager` -- entirely from
+    plain data (name + seeds), so the factory crosses a process boundary and
+    each worker compiles its own timeline instead of shipping one.
+    """
+
+    scenario: str
+    smoke: bool = False
+    seed_base: int = 0
+
+    def __call__(self, shard_id: int) -> ClusterManager:
+        from repro.scenarios.registry import get_scenario
+
+        spec = get_scenario(self.scenario, smoke=self.smoke)
+        return spec.compile(seed=self.seed_base + shard_id).make_cluster_manager()
+
+
+@dataclass(frozen=True)
+class UniformShardFactory:
+    """Recipe for building one federation's identical shards, picklable.
+
+    This is how shards reach worker processes: live simulators must never be
+    pickled (their policy indexes re-bind by object identity and would go
+    permanently stale in the child), so the *recipe* crosses the pipe and each
+    worker builds its own shards from it.  The picklability contract is
+    therefore on the ingredients: every factory field must be a module-level
+    callable or a picklable object (policy classes themselves qualify;
+    closures and lambdas do not -- use :class:`ScenarioManagerFactory` for
+    per-shard scenario timelines).
+    """
+
+    nodes_per_shard: int
+    scheduling_factory: Callable
+    placement_factory: Optional[Callable] = None
+    admission_factory: Optional[Callable] = None
+    gpus_per_node: int = 4
+    gpu_type: str = "v100"
+    network_bw_gbps: float = 10.0
+    round_duration: float = 300.0
+    fast_forward: bool = True
+    cluster_manager_factory: Optional[Callable[[int], Optional[ClusterManager]]] = None
+    max_rounds: int = 200_000
+
+    def build(self, shard_id: int) -> ShardSimulator:
+        """Build the single shard ``shard_id`` with fresh policy instances."""
+        if self.nodes_per_shard < 1:
+            raise ConfigurationError(
+                f"nodes_per_shard must be >= 1, got {self.nodes_per_shard}"
+            )
+        manager = (
+            self.cluster_manager_factory(shard_id)
+            if self.cluster_manager_factory
+            else None
+        )
+        return ShardSimulator(
+            shard_id=shard_id,
+            cluster_state=build_cluster(
+                num_nodes=self.nodes_per_shard,
+                gpus_per_node=self.gpus_per_node,
+                gpu_type=self.gpu_type,
+                network_bw_gbps=self.network_bw_gbps,
+            ),
+            scheduling_policy=self.scheduling_factory(),
+            placement_policy=self.placement_factory() if self.placement_factory else None,
+            admission_policy=self.admission_factory() if self.admission_factory else None,
+            cluster_manager=manager,
+            round_duration=self.round_duration,
+            fast_forward=self.fast_forward,
+            max_rounds=self.max_rounds,
+        )
+
+    def build_all(self, num_shards: int) -> List[ShardSimulator]:
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        return [self.build(shard_id) for shard_id in range(num_shards)]
 
 
 def build_uniform_shards(
@@ -219,35 +470,26 @@ def build_uniform_shards(
 ) -> List[ShardSimulator]:
     """Build ``num_shards`` identical shards with fresh policy instances.
 
+    Convenience wrapper over :class:`UniformShardFactory` for in-process use;
+    parallel engines take the factory itself (it must cross the pipe).
+
     ``cluster_manager_factory`` receives the shard index and may return a
     per-shard manager (e.g. a fresh scenario
     :class:`~repro.scenarios.timeline.TimelineClusterManager`) or ``None``
     for static membership; managers are stateful, so the factory must build a
     new instance per shard.
     """
-    if num_shards < 1:
-        raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
-    if nodes_per_shard < 1:
-        raise ConfigurationError(f"nodes_per_shard must be >= 1, got {nodes_per_shard}")
-    shards: List[ShardSimulator] = []
-    for shard_id in range(num_shards):
-        manager = cluster_manager_factory(shard_id) if cluster_manager_factory else None
-        shards.append(
-            ShardSimulator(
-                shard_id=shard_id,
-                cluster_state=build_cluster(
-                    num_nodes=nodes_per_shard,
-                    gpus_per_node=gpus_per_node,
-                    gpu_type=gpu_type,
-                    network_bw_gbps=network_bw_gbps,
-                ),
-                scheduling_policy=scheduling_factory(),
-                placement_policy=placement_factory() if placement_factory else None,
-                admission_policy=admission_factory() if admission_factory else None,
-                cluster_manager=manager,
-                round_duration=round_duration,
-                fast_forward=fast_forward,
-                max_rounds=max_rounds,
-            )
-        )
-    return shards
+    factory = UniformShardFactory(
+        nodes_per_shard=nodes_per_shard,
+        scheduling_factory=scheduling_factory,
+        placement_factory=placement_factory,
+        admission_factory=admission_factory,
+        gpus_per_node=gpus_per_node,
+        gpu_type=gpu_type,
+        network_bw_gbps=network_bw_gbps,
+        round_duration=round_duration,
+        fast_forward=fast_forward,
+        cluster_manager_factory=cluster_manager_factory,
+        max_rounds=max_rounds,
+    )
+    return factory.build_all(num_shards)

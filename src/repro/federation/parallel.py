@@ -1,0 +1,555 @@
+"""Truly parallel federation: shard worker processes behind pipes.
+
+:class:`ParallelFederationEngine` runs the exact routing loop of the serial
+:class:`~repro.federation.engine.FederationEngine` -- same
+:func:`~repro.federation.engine.drive_federation`, same routers, same global
+``(arrival_time, job_id)`` order -- but executes the shards in worker
+processes, so an N-shard federation uses up to N cores instead of one.
+
+Protocol
+--------
+
+Each worker owns one or more :class:`~repro.federation.shard.ShardSimulator`
+instances (shard ``i`` lives on worker ``i % workers``) built *in the worker*
+from a picklable :class:`~repro.federation.engine.UniformShardFactory` -- live
+simulators never cross the pipe (their policy indexes re-bind by object
+identity and would silently go stale after unpickling).  Over its duplex pipe
+a worker answers:
+
+* ``("advance", stop_time)`` -> ``("ok", [ShardViewSummary, ...])`` -- run
+  every owned shard to the pause point before ``stop_time`` and report their
+  routing summaries, in owned-shard order;
+* ``("submit", shard_id, job)`` -- queue a routed gang; fire-and-forget, the
+  pipe's FIFO ordering guarantees it is applied before the next ``advance``;
+* ``("finish",)`` -> ``("ok", [SimulationResult, ...])`` -- drain the owned
+  shards to completion and ship back their full results;
+* ``("finish_stats",)`` -> ``("ok", [ShardFinishStats, ...])`` -- same drain,
+  but reduce each result to compact statistics *inside the worker* (streaming
+  runs: the parent never holds a full shard result);
+* ``("close",)`` -- exit.
+
+Any worker-side exception is shipped back as ``("error", traceback)`` and
+re-raised in the parent as a :class:`~repro.core.exceptions.SimulationError`;
+a worker that dies without replying (crash, ``os._exit``, OOM-kill) is
+detected by polling with liveness checks, so the parent raises instead of
+hanging on a silent pipe.
+
+Determinism
+-----------
+
+Bit-identical to the serial engine by construction: routing consumes only
+``ShardViewSummary`` messages, which workers compute with the same
+:meth:`~repro.federation.shard.ShardSimulator.view_summary` the serial
+backend calls in-process, and same-round refreshes happen parent-side via
+``with_queued`` in both engines.  Shards never observe anything but their own
+submitted gangs and clock bounds, so their schedules -- and hence the round
+logs, job timings and results -- match the serial run exactly.
+``python -m repro.bench --federation`` gates on this parity.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.exceptions import ConfigurationError, SimulationError
+from repro.core.job import Job
+from repro.federation.engine import (
+    FederationEngine,
+    FederationResult,
+    ShardBackend,
+    UniformShardFactory,
+    drive_federation,
+)
+from repro.federation.router import FederationRouter, ShardViewSummary
+from repro.metrics.summary import SummaryStats, jct_summary
+from repro.simulator.engine import SimulationResult
+
+__all__ = [
+    "ParallelFederationEngine",
+    "WorkerPoolBackend",
+    "ShardFinishStats",
+    "FederationStreamResult",
+    "default_worker_count",
+]
+
+#: Seconds between liveness checks while waiting on a worker reply.
+_POLL_INTERVAL_S = 0.2
+
+
+def default_worker_count(num_shards: int) -> int:
+    """Workers to use when unspecified: one per shard, capped at usable cores."""
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except AttributeError:
+        usable = os.cpu_count() or 1
+    return max(1, min(num_shards, usable))
+
+
+@dataclass(frozen=True)
+class ShardFinishStats:
+    """Compact in-worker reduction of one shard's finished run.
+
+    The streaming finish payload: everything the parent reports without
+    holding the shard's jobs or round log (a 64-shard, 100k-job run would
+    otherwise ship every job object back through the pipes it just avoided
+    keeping).
+    """
+
+    shard_id: int
+    rounds: int
+    jobs: int
+    finished_jobs: int
+    eviction_count: int
+    preemption_count: int
+    stats: SummaryStats
+    wall_time_s: float
+
+
+def _finish_stats(shard_id: int, result: SimulationResult) -> ShardFinishStats:
+    return ShardFinishStats(
+        shard_id=shard_id,
+        rounds=result.rounds,
+        jobs=len(result.jobs),
+        finished_jobs=sum(1 for j in result.jobs if j.completion_time is not None),
+        eviction_count=result.eviction_count,
+        preemption_count=sum(j.num_preemptions for j in result.jobs),
+        stats=jct_summary(result.jobs),
+        wall_time_s=result.wall_time_s,
+    )
+
+
+def _worker_main(conn, factory: UniformShardFactory, shard_ids: Sequence[int]) -> None:
+    """Worker process entry point: build owned shards, answer the protocol."""
+    try:
+        shards = {shard_id: factory.build(shard_id) for shard_id in shard_ids}
+        conn.send(("ready", [shards[s].manager.round_duration for s in shard_ids]))
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        finally:
+            conn.close()
+        return
+    try:
+        while True:
+            message = conn.recv()
+            command = message[0]
+            if command == "advance":
+                stop_time = message[1]
+                for shard_id in shard_ids:
+                    shards[shard_id].run_until(stop_time)
+                conn.send(("ok", [shards[s].view_summary() for s in shard_ids]))
+            elif command == "submit":
+                _, shard_id, job = message
+                shards[shard_id].submit(job)
+            elif command == "finish":
+                conn.send(("ok", [shards[s].finish() for s in shard_ids]))
+            elif command == "finish_stats":
+                conn.send(
+                    ("ok", [_finish_stats(s, shards[s].finish()) for s in shard_ids])
+                )
+            elif command == "close":
+                return
+            else:
+                raise SimulationError(f"unknown federation worker command {command!r}")
+    except EOFError:
+        # Parent vanished; nothing to report to.
+        return
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+class WorkerPoolBackend(ShardBackend):
+    """Shards distributed over worker processes, driven via duplex pipes.
+
+    Implements the :class:`~repro.federation.engine.ShardBackend` contract,
+    so :func:`~repro.federation.engine.drive_federation` runs on it unchanged.
+    Shard ``i`` lives on worker ``i % workers``, which keeps any number of
+    shards runnable on a fixed pool (the 64-shard demo on an 8-worker pool)
+    and spreads the lockstep load evenly for uniform shards.
+    """
+
+    def __init__(
+        self,
+        factory: UniformShardFactory,
+        num_shards: int,
+        workers: int,
+        mp_context: Optional[str] = None,
+        handshake_timeout_s: float = 120.0,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.num_shards = num_shards
+        self.workers = min(workers, num_shards)
+        ctx = multiprocessing.get_context(mp_context)
+        self._owned: List[List[int]] = [[] for _ in range(self.workers)]
+        for shard_id in range(num_shards):
+            self._owned[shard_id % self.workers].append(shard_id)
+        self._conns = []
+        self._procs = []
+        self._closed = False
+        try:
+            for worker_index in range(self.workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, factory, self._owned[worker_index]),
+                    name=f"federation-shard-worker-{worker_index}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._procs.append(proc)
+            self.round_duration = self._handshake(handshake_timeout_s)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Pipe plumbing with crash detection
+    # ------------------------------------------------------------------
+
+    def _recv(self, worker_index: int, timeout_s: Optional[float] = None):
+        """Receive one reply, raising instead of hanging if the worker died."""
+        conn = self._conns[worker_index]
+        proc = self._procs[worker_index]
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while True:
+            try:
+                if conn.poll(_POLL_INTERVAL_S):
+                    reply = conn.recv()
+                    break
+            except (EOFError, OSError):
+                raise SimulationError(
+                    f"federation worker {worker_index} closed its pipe "
+                    f"unexpectedly (exitcode {proc.exitcode})"
+                )
+            if not proc.is_alive():
+                # One final drain: the worker may have replied (or shipped an
+                # error) just before exiting.
+                if conn.poll(0):
+                    try:
+                        reply = conn.recv()
+                        break
+                    except (EOFError, OSError):
+                        pass
+                raise SimulationError(
+                    f"federation worker {worker_index} (shards "
+                    f"{self._owned[worker_index]}) died with exitcode "
+                    f"{proc.exitcode} without replying"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise SimulationError(
+                    f"federation worker {worker_index} did not reply within "
+                    f"{timeout_s:.0f}s"
+                )
+        tag, payload = reply
+        if tag == "error":
+            raise SimulationError(
+                f"federation worker {worker_index} failed:\n{payload}"
+            )
+        return tag, payload
+
+    def _send(self, worker_index: int, message: tuple) -> None:
+        try:
+            self._conns[worker_index].send(message)
+        except (BrokenPipeError, OSError):
+            raise SimulationError(
+                f"federation worker {worker_index} is gone (exitcode "
+                f"{self._procs[worker_index].exitcode}); cannot send {message[0]!r}"
+            )
+
+    def _handshake(self, timeout_s: float) -> float:
+        durations = set()
+        for worker_index in range(self.workers):
+            tag, payload = self._recv(worker_index, timeout_s)
+            if tag != "ready":
+                raise SimulationError(
+                    f"federation worker {worker_index} sent {tag!r} instead of "
+                    "the ready handshake"
+                )
+            durations.update(payload)
+        if len(durations) != 1:
+            raise ConfigurationError(
+                "shards must share one round_duration for lockstep routing, "
+                f"got {sorted(durations)}"
+            )
+        return durations.pop()
+
+    def _gather(self, command: tuple) -> List[object]:
+        """Broadcast ``command``, collect replies, reassemble in shard order.
+
+        The broadcast goes out to every worker *before* any reply is awaited
+        -- this is the parallelism: all workers advance their shards
+        simultaneously while the parent blocks on the slowest one.
+        """
+        for worker_index in range(self.workers):
+            self._send(worker_index, command)
+        by_shard: Dict[int, object] = {}
+        for worker_index in range(self.workers):
+            _, payload = self._recv(worker_index)
+            for shard_id, item in zip(self._owned[worker_index], payload):
+                by_shard[shard_id] = item
+        return [by_shard[shard_id] for shard_id in range(self.num_shards)]
+
+    # ------------------------------------------------------------------
+    # ShardBackend contract
+    # ------------------------------------------------------------------
+
+    def advance(self, stop_time: float) -> List[ShardViewSummary]:
+        return self._gather(("advance", stop_time))
+
+    def submit(self, shard_id: int, job: Job) -> None:
+        self._send(shard_id % self.workers, ("submit", shard_id, job))
+
+    def finish(self) -> List[SimulationResult]:
+        return self._gather(("finish",))
+
+    def finish_stats(self) -> List[ShardFinishStats]:
+        """Streaming drain: per-shard statistics reduced inside the workers."""
+        return self._gather(("finish_stats",))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for worker_index, conn in enumerate(self._conns):
+            try:
+                conn.send(("close",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            conn.close()
+
+
+@dataclass
+class FederationStreamResult:
+    """Result of a streaming (memory-bounded) parallel federation run.
+
+    Unlike :class:`~repro.federation.engine.FederationResult` this never holds
+    job objects or round logs: per-shard statistics are reduced inside the
+    workers and only :class:`ShardFinishStats` crosses back.  Percentile
+    metrics therefore exist per shard but not pooled (percentiles are not
+    mergeable); the pooled numbers below are the exactly mergeable ones.
+    """
+
+    shard_stats: List[ShardFinishStats]
+    jobs_per_shard: List[int]
+    router_name: str
+    round_duration: float
+    total_jobs: int
+    wall_time_s: float
+    routing_time_s: float
+    advance_time_s: float
+    workers: int
+    #: Parent-process peak RSS at the end of the run, in MiB (the streaming
+    #: claim under test: independent of trace length).
+    peak_rss_mib: float = 0.0
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_stats)
+
+    def total_rounds(self) -> int:
+        return sum(s.rounds for s in self.shard_stats)
+
+    def finished_jobs(self) -> int:
+        return sum(s.finished_jobs for s in self.shard_stats)
+
+    def avg_jct(self) -> float:
+        """Exact pooled mean JCT (count-weighted merge of per-shard means)."""
+        finished = self.finished_jobs()
+        if finished == 0:
+            return 0.0
+        weighted = sum(s.stats.avg_jct * s.finished_jobs for s in self.shard_stats)
+        return weighted / finished
+
+    def makespan(self) -> float:
+        """Upper bound on the pooled makespan: max over per-shard makespans."""
+        if not self.shard_stats:
+            return 0.0
+        return max(s.stats.makespan for s in self.shard_stats)
+
+    def as_dict(self) -> dict:
+        return {
+            "router": self.router_name,
+            "num_shards": self.num_shards,
+            "workers": self.workers,
+            "total_jobs": self.total_jobs,
+            "finished_jobs": self.finished_jobs(),
+            "jobs_per_shard": list(self.jobs_per_shard),
+            "total_rounds": self.total_rounds(),
+            "avg_jct": self.avg_jct(),
+            "makespan": self.makespan(),
+            "wall_time_s": self.wall_time_s,
+            "routing_time_s": self.routing_time_s,
+            "advance_time_s": self.advance_time_s,
+            "peak_rss_mib": self.peak_rss_mib,
+            "shards": [
+                {
+                    "shard_id": s.shard_id,
+                    "rounds": s.rounds,
+                    "jobs": s.jobs,
+                    "finished_jobs": s.finished_jobs,
+                    "eviction_count": s.eviction_count,
+                    "preemption_count": s.preemption_count,
+                    "wall_time_s": s.wall_time_s,
+                    **{f"stats_{k}": v for k, v in s.stats.as_dict().items()},
+                }
+                for s in self.shard_stats
+            ],
+        }
+
+
+def _peak_rss_mib() -> float:
+    try:
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+    except Exception:
+        return 0.0
+
+
+class ParallelFederationEngine:
+    """Drop-in parallel counterpart of :class:`FederationEngine`.
+
+    Takes the shard *recipe* (a picklable
+    :class:`~repro.federation.engine.UniformShardFactory`) rather than built
+    shards, because the shards are constructed inside the workers.  With
+    ``workers=1`` no processes are spawned at all: the engine builds the
+    shards in-process and delegates to the serial engine, which the parallel
+    path is bit-identical to by construction -- so ``workers`` is purely a
+    throughput knob.
+    """
+
+    def __init__(
+        self,
+        factory: UniformShardFactory,
+        num_shards: int,
+        router: FederationRouter,
+        jobs: Iterable[Job],
+        tracked_job_ids: Optional[Sequence[int]] = None,
+        workers: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        self.factory = factory
+        self.num_shards = num_shards
+        self.router = router
+        self.workers = (
+            default_worker_count(num_shards) if workers is None else workers
+        )
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
+        self.mp_context = mp_context
+        self._jobs = jobs
+        self._tracked_job_ids = tracked_job_ids
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> FederationResult:
+        """Route every gang, drain every shard, return the combined result.
+
+        Returns the same :class:`FederationResult` as the serial engine --
+        worker shard results cross back whole, so downstream summaries and
+        parity checks treat both engines interchangeably.
+        """
+        arrivals = sorted(self._jobs, key=lambda j: (j.arrival_time, j.job_id))
+        if not arrivals:
+            raise ConfigurationError("cannot federate an empty workload")
+        tracked = (
+            [job.job_id for job in arrivals]
+            if self._tracked_job_ids is None
+            else list(self._tracked_job_ids)
+        )
+        if self.workers == 1:
+            engine = FederationEngine(
+                shards=self.factory.build_all(self.num_shards),
+                router=self.router,
+                jobs=arrivals,
+                tracked_job_ids=tracked,
+            )
+            result = engine.run()
+            result.workers = 1
+            return result
+        wall_start = time.perf_counter()
+        backend = WorkerPoolBackend(
+            self.factory, self.num_shards, self.workers, self.mp_context
+        )
+        try:
+            stats = drive_federation(backend, self.router, arrivals)
+            started = time.perf_counter()
+            shard_results = backend.finish()
+            advance_time = stats.advance_time_s + (time.perf_counter() - started)
+        finally:
+            backend.close()
+        return FederationResult(
+            shard_results=shard_results,
+            assignments=stats.assignments or {},
+            tracked_job_ids=tracked,
+            router_name=self.router.name,
+            round_duration=backend.round_duration,
+            wall_time_s=time.perf_counter() - wall_start,
+            routing_time_s=stats.routing_time_s,
+            advance_time_s=advance_time,
+            workers=backend.workers,
+        )
+
+    def run_stream(self) -> FederationStreamResult:
+        """Memory-bounded run over a lazy, pre-sorted arrival stream.
+
+        ``jobs`` may be a generator ordered by ``(arrival_time, job_id)``
+        (enforced as the stream drains); the parent holds one lookahead job
+        and per-shard counters, never the trace, and workers reduce their
+        finished shards to :class:`ShardFinishStats` before replying -- this
+        is what makes 64-shard, 100k-job runs fit a bounded parent process.
+        Requires ``workers >= 2`` (a streaming run that fits one process has
+        no reason not to use :meth:`run`).
+        """
+        if self.workers < 2:
+            raise ConfigurationError(
+                "run_stream needs workers >= 2; use run() for in-process runs"
+            )
+        wall_start = time.perf_counter()
+        backend = WorkerPoolBackend(
+            self.factory, self.num_shards, self.workers, self.mp_context
+        )
+        try:
+            stats = drive_federation(
+                backend, self.router, self._jobs, record_assignments=False
+            )
+            started = time.perf_counter()
+            shard_stats = backend.finish_stats()
+            advance_time = stats.advance_time_s + (time.perf_counter() - started)
+        finally:
+            backend.close()
+        return FederationStreamResult(
+            shard_stats=shard_stats,
+            jobs_per_shard=stats.jobs_per_shard,
+            router_name=self.router.name,
+            round_duration=backend.round_duration,
+            total_jobs=stats.total_jobs,
+            wall_time_s=time.perf_counter() - wall_start,
+            routing_time_s=stats.routing_time_s,
+            advance_time_s=advance_time,
+            workers=backend.workers,
+            peak_rss_mib=_peak_rss_mib(),
+        )

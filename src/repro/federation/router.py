@@ -3,12 +3,20 @@
 A :class:`FederationRouter` is the admission-side counterpart of a scheduling
 policy one level up: where a scheduling policy orders jobs *within* a cluster,
 a router decides which shard (independent cluster + policy stack) an incoming
-gang enters at all.  Routers see a read-only :class:`ShardView` per shard --
-the shard's cluster and job state as of the last completed round, plus the
-gangs already routed to it but not yet admitted -- and return a shard index.
+gang enters at all.  Routers see a compact :class:`ShardViewSummary` per shard
+-- a picklable digest of the shard's cluster and job state as of the last
+completed round, including the gangs already routed to it but not yet admitted
+-- and return a shard index.
+
+The summary (rather than the live ``ClusterState``/``JobState`` objects) is
+the federation's *message type*: in parallel mode each shard lives in a worker
+process and only the summary crosses the pipe, and in serial mode the engine
+builds the identical summary from the live shard -- so routing reads exactly
+the same facts in both modes, which is what makes serial and parallel runs
+bit-identical.
 
 Determinism contract: routing is a pure function of the job and the shard
-views (round-robin additionally keeps an internal cursor, which is still
+summaries (round-robin additionally keeps an internal cursor, which is still
 deterministic), with explicit shard-id tie-breaks.  No router draws
 randomness, so a federation run is replayable and the fast-forward parity
 checks extend across the routing layer.
@@ -27,15 +35,16 @@ load balancing across scheduler instances) motivates:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, List, Sequence, Tuple
 
 from repro.core.cluster_state import ClusterState, gpu_type_key
 from repro.core.job import Job
 from repro.core.job_state import JobState
 
 __all__ = [
-    "ShardView",
+    "ShardViewSummary",
+    "summarize_shard",
     "FederationRouter",
     "RoundRobinRouter",
     "LeastLoadedRouter",
@@ -48,63 +57,128 @@ __all__ = [
 
 
 @dataclass(frozen=True)
-class ShardView:
-    """Read-only facts a router may consult about one shard.
+class ShardViewSummary:
+    """Compact, picklable digest of one shard's state for routing decisions.
 
-    ``cluster_state``/``job_state`` are the shard's *live* objects (copying
-    them per decision would dwarf the routing cost); routers must treat them
-    as immutable.  ``queued_jobs`` are gangs already routed to the shard but
-    still in its arrival queue -- without them, two gangs arriving in the
-    same round would both see the shard as empty and pile onto it.
+    This is everything any stock router consults, reduced to plain numbers so
+    the summary can cross a process boundary (parallel federation workers
+    reply to ``advance`` commands with one of these).  All GPU-type keys are
+    normalised with :func:`~repro.core.cluster_state.gpu_type_key`.
+
+    The queue-facing fields (``pending_gpu_demand``, ``outstanding_gpu_seconds``,
+    ``queued_jobs``) include gangs already routed to the shard but still in
+    its arrival queue -- without them, two gangs arriving in the same round
+    would both see the shard as empty and pile onto it.  Between two routing
+    decisions at the same pause point only those fields can change, and only
+    on the shard that received the previous gang; :meth:`with_queued` applies
+    exactly that delta, so the engine refreshes one summary per decision
+    instead of re-materialising every shard's view.
     """
 
     shard_id: int
-    cluster_state: ClusterState
-    job_state: JobState
     current_time: float
-    queued_jobs: Tuple[Job, ...] = ()
+    #: All GPUs the shard owns, failed nodes included (the engine's
+    #: feasibility filter: a gang larger than this can never be placed).
+    total_gpus: int
+    #: Compute-weighted capacity of GPUs on healthy nodes (0.0 = dead shard).
+    healthy_capacity: float
+    #: Fraction of the healthy capacity currently in use.
+    capacity_utilization: float
+    #: Free GPUs on healthy nodes, per normalised GPU type.
+    free_gpus_by_type: Dict[str, int] = field(default_factory=dict)
+    #: GPU types present on at least one healthy node.
+    owned_gpu_types: FrozenSet[str] = frozenset()
+    #: GPUs wanted by admitted-but-idle jobs plus routed-but-unadmitted gangs.
+    pending_gpu_demand: int = 0
+    #: Remaining committed work in GPU-seconds (active jobs + queued gangs):
+    #: the fluid-model backlog a new arrival queues behind.
+    outstanding_gpu_seconds: float = 0.0
+    #: Gangs routed to the shard but still in its arrival queue.
+    queued_jobs: int = 0
 
-    # ------------------------------------------------------------------
-    # Derived load metrics shared by the stock routers
-    # ------------------------------------------------------------------
+    def free_gpus(self, gpu_type=None) -> int:
+        """Free healthy GPUs, optionally restricted to one (normalised) type."""
+        if gpu_type is None:
+            return sum(self.free_gpus_by_type.values())
+        return self.free_gpus_by_type.get(gpu_type_key(gpu_type), 0)
 
-    def pending_gpu_demand(self) -> int:
-        """GPUs wanted by jobs that are admitted-but-idle or still queued."""
-        job_state = self.job_state
-        demand = sum(
-            job.num_gpus for job in job_state.active_jobs() if not job.is_running
-        )
-        demand += sum(job.num_gpus for job in self.queued_jobs)
-        return demand
+    def owns_gpu_type(self, gpu_type) -> bool:
+        return gpu_type_key(gpu_type) in self.owned_gpu_types
 
-    def outstanding_gpu_seconds(self) -> float:
-        """Remaining compute demand committed to this shard, in GPU-seconds.
+    def with_queued(self, job: Job) -> "ShardViewSummary":
+        """The summary after routing ``job`` to this shard (pure update).
 
-        Sums ``remaining_work * num_gpus`` over every active job plus every
-        routed-but-unadmitted gang: the fluid-model backlog a new arrival
-        queues behind.
+        Appends the gang's demand terms in routing order, exactly as a fresh
+        :func:`summarize_shard` over the grown queue would -- the serial and
+        parallel engines both use this for same-round refreshes, so the
+        floating-point accumulation order (and hence every downstream routing
+        decision) is identical in both modes.
         """
-        total = 0.0
-        for job in self.job_state.active_jobs():
-            total += job.remaining_work * job.num_gpus
-        for job in self.queued_jobs:
-            total += job.remaining_work * job.num_gpus
-        return total
+        return replace(
+            self,
+            pending_gpu_demand=self.pending_gpu_demand + job.num_gpus,
+            outstanding_gpu_seconds=self.outstanding_gpu_seconds
+            + job.remaining_work * job.num_gpus,
+            queued_jobs=self.queued_jobs + 1,
+        )
+
+
+def summarize_shard(
+    shard_id: int,
+    cluster_state: ClusterState,
+    job_state: JobState,
+    current_time: float,
+    queued_jobs: Sequence[Job] = (),
+) -> ShardViewSummary:
+    """Digest live shard state into a :class:`ShardViewSummary`.
+
+    Deterministic accumulation order: active jobs in job-id order (the
+    registry's sorted view), then queued gangs in queue order -- matching the
+    order :meth:`ShardViewSummary.with_queued` extends the sums in.
+    """
+    free_by_type: Dict[str, int] = {}
+    owned: List[str] = []
+    for node in cluster_state.active_nodes():
+        key = gpu_type_key(node.gpu_type)
+        if key not in free_by_type:
+            free_by_type[key] = cluster_state.num_free_gpus(key)
+            owned.append(key)
+    pending = 0
+    outstanding = 0.0
+    for job in job_state.active_jobs():
+        if not job.is_running:
+            pending += job.num_gpus
+        outstanding += job.remaining_work * job.num_gpus
+    for job in queued_jobs:
+        pending += job.num_gpus
+        outstanding += job.remaining_work * job.num_gpus
+    return ShardViewSummary(
+        shard_id=shard_id,
+        current_time=current_time,
+        total_gpus=cluster_state.total_gpus,
+        healthy_capacity=cluster_state.healthy_capacity(),
+        capacity_utilization=cluster_state.capacity_utilization(),
+        free_gpus_by_type=free_by_type,
+        owned_gpu_types=frozenset(owned),
+        pending_gpu_demand=pending,
+        outstanding_gpu_seconds=outstanding,
+        queued_jobs=len(queued_jobs),
+    )
 
 
 class FederationRouter:
     """Decides which shard an incoming gang is admitted to.
 
-    ``route`` receives the views of the shards the gang can *feasibly* run
-    on (the engine pre-filters shards whose total GPU count is below the
+    ``route`` receives the summaries of the shards the gang can *feasibly*
+    run on (the engine pre-filters shards whose total GPU count is below the
     gang size -- routing there would starve the job forever) and must return
     the ``shard_id`` of one of them.
     """
 
     name = "router"
 
-    def route(self, job: Job, shards: Sequence[ShardView]) -> int:
-        """Return the ``shard_id`` of the view chosen for ``job``."""
+    def route(self, job: Job, shards: Sequence[ShardViewSummary]) -> int:
+        """Return the ``shard_id`` of the summary chosen for ``job``."""
         raise NotImplementedError
 
 
@@ -121,31 +195,29 @@ class RoundRobinRouter(FederationRouter):
     def __init__(self) -> None:
         self._cursor = 0
 
-    def route(self, job: Job, shards: Sequence[ShardView]) -> int:
+    def route(self, job: Job, shards: Sequence[ShardViewSummary]) -> int:
         del job
         view = shards[self._cursor % len(shards)]
         self._cursor += 1
         return view.shard_id
 
 
-def _load_key(view: ShardView) -> Tuple[float, float, int]:
+def _load_key(view: ShardViewSummary) -> Tuple[float, float, int]:
     """Least-loaded ordering: utilisation, then pending demand, then id.
 
-    Primary key is the O(1) compute-weighted :meth:`ClusterState.capacity_utilization`
-    (failed nodes don't count as schedulable headroom).  Early in a run every
-    shard is at 0% utilisation, so pending demand relative to capacity breaks
-    ties before the deterministic shard-id fallback.  A shard with *zero*
-    healthy capacity (every node failed or scaled in) ranks as maximally
-    loaded -- ``capacity_utilization`` reports such a shard as 0.0, and
-    treating that as "idle" would funnel every arrival into a dead shard for
-    the duration of its outage.
+    Primary key is the compute-weighted capacity utilisation (failed nodes
+    don't count as schedulable headroom).  Early in a run every shard is at
+    0% utilisation, so pending demand relative to capacity breaks ties before
+    the deterministic shard-id fallback.  A shard with *zero* healthy
+    capacity (every node failed or scaled in) ranks as maximally loaded --
+    ``capacity_utilization`` reports such a shard as 0.0, and treating that
+    as "idle" would funnel every arrival into a dead shard for the duration
+    of its outage.
     """
-    cluster = view.cluster_state
-    capacity = cluster.healthy_capacity()
-    if capacity <= 0:
+    if view.healthy_capacity <= 0:
         return (math.inf, math.inf, view.shard_id)
-    pending = view.pending_gpu_demand() / capacity
-    return (cluster.capacity_utilization(), pending, view.shard_id)
+    pending = view.pending_gpu_demand / view.healthy_capacity
+    return (view.capacity_utilization, pending, view.shard_id)
 
 
 class LeastLoadedRouter(FederationRouter):
@@ -153,7 +225,7 @@ class LeastLoadedRouter(FederationRouter):
 
     name = "least-loaded"
 
-    def route(self, job: Job, shards: Sequence[ShardView]) -> int:
+    def route(self, job: Job, shards: Sequence[ShardViewSummary]) -> int:
         del job
         return min(shards, key=_load_key).shard_id
 
@@ -169,19 +241,12 @@ class GpuTypeAffinityRouter(FederationRouter):
 
     name = "gpu-affinity"
 
-    def route(self, job: Job, shards: Sequence[ShardView]) -> int:
+    def route(self, job: Job, shards: Sequence[ShardViewSummary]) -> int:
         wanted = gpu_type_key(job.gpu_type)
-
-        def owns_type(view: ShardView) -> bool:
-            return any(
-                gpu_type_key(node.gpu_type) == wanted
-                for node in view.cluster_state.active_nodes()
-            )
-
-        with_free = [v for v in shards if v.cluster_state.num_free_gpus(wanted) > 0]
+        with_free = [v for v in shards if v.free_gpus_by_type.get(wanted, 0) > 0]
         if with_free:
             return min(with_free, key=_load_key).shard_id
-        with_type = [v for v in shards if owns_type(v)]
+        with_type = [v for v in shards if wanted in v.owned_gpu_types]
         if with_type:
             return min(with_type, key=_load_key).shard_id
         return min(shards, key=_load_key).shard_id
@@ -208,14 +273,15 @@ class QueueDelayRouter(FederationRouter):
 
     name = "queue-delay"
 
-    def route(self, job: Job, shards: Sequence[ShardView]) -> int:
-        def score(view: ShardView) -> Tuple[float, int]:
-            capacity = view.cluster_state.healthy_capacity()
-            if capacity <= 0:
+    def route(self, job: Job, shards: Sequence[ShardViewSummary]) -> int:
+        def score(view: ShardViewSummary) -> Tuple[float, int]:
+            if view.healthy_capacity <= 0:
                 return (math.inf, view.shard_id)
-            backlog = view.outstanding_gpu_seconds()
             demand = job.num_gpus * job.duration
-            return ((backlog + demand) / capacity, view.shard_id)
+            return (
+                (view.outstanding_gpu_seconds + demand) / view.healthy_capacity,
+                view.shard_id,
+            )
 
         return min(shards, key=score).shard_id
 

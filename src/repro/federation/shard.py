@@ -36,6 +36,7 @@ from repro.core.abstractions import (
 from repro.core.cluster_state import ClusterState
 from repro.core.exceptions import SimulationError
 from repro.core.job import Job
+from repro.federation.router import ShardViewSummary, summarize_shard
 from repro.simulator.engine import SimulationResult, Simulator
 
 __all__ = ["BoundedClusterManager", "ShardSimulator"]
@@ -148,6 +149,25 @@ class ShardSimulator(Simulator):
         self.manager.submit_job(job)
         self.jobs.append(job)
         self.tracked_job_ids.append(job.job_id)
+
+    def view_summary(self) -> ShardViewSummary:
+        """Routing digest of this shard at its current pause point.
+
+        Serial and parallel federation engines both feed routers exactly this
+        -- the serial engine reads it in-process, a parallel worker sends it
+        back over the pipe -- so routing inputs are bit-identical in both
+        modes.  At a pause the arrival queue is always empty (the preceding
+        arrival round popped every previously routed gang), so the queue terms
+        start at zero and the engine layers same-round gangs on via
+        :meth:`ShardViewSummary.with_queued`.
+        """
+        return summarize_shard(
+            shard_id=self.shard_id,
+            cluster_state=self.cluster_state,
+            job_state=self.job_state,
+            current_time=self.manager.current_time,
+            queued_jobs=tuple(self.manager.queued_jobs()),
+        )
 
     def run_until(self, stop_time: float) -> None:
         """Advance the shard's loop, pausing before the round at ``stop_time``.

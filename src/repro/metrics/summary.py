@@ -166,6 +166,36 @@ def scenario_summary(
 
 
 @dataclass(frozen=True)
+class FederationTiming:
+    """Wall-time breakdown of one federation run.
+
+    ``routing_time_s`` is the serialised parent-side section (router decisions
+    plus gang submission); ``advance_time_s`` is the time spent advancing and
+    draining shards -- in parallel mode, the parent's wait on the slowest
+    shard per lockstep step.  ``shard_busy_time_s`` is each shard's own
+    in-loop execution time; its max/sum ratio bounds the achievable parallel
+    speedup (the lockstep barrier waits for the slowest shard at every routing
+    event).  ``workers`` is the number of worker processes (0 = in-process
+    serial engine).
+    """
+
+    wall_time_s: float
+    routing_time_s: float
+    advance_time_s: float
+    shard_busy_time_s: Tuple[float, ...] = ()
+    workers: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "wall_time_s": self.wall_time_s,
+            "routing_time_s": self.routing_time_s,
+            "advance_time_s": self.advance_time_s,
+            "shard_busy_time_s": list(self.shard_busy_time_s),
+            "workers": self.workers,
+        }
+
+
+@dataclass(frozen=True)
 class FederationSummary:
     """Aggregate report over the shards of one federation run.
 
@@ -192,6 +222,8 @@ class FederationSummary:
     #: max/mean of routed jobs per shard; 1.0 is perfectly balanced,
     #: ``num_shards`` is everything on one shard, 0.0 if nothing was routed.
     routing_imbalance: float
+    #: Wall-time breakdown of the run, when the engine measured one.
+    timing: Optional[FederationTiming] = None
 
     @property
     def num_shards(self) -> int:
@@ -205,6 +237,8 @@ class FederationSummary:
         out["eviction_count"] = self.eviction_count
         out["capacity_weighted_utilization"] = self.capacity_weighted_utilization
         out["routing_imbalance"] = self.routing_imbalance
+        if self.timing is not None:
+            out["timing"] = self.timing.as_dict()
         out["shards"] = [shard.as_dict() for shard in self.shards]
         return out
 
@@ -214,6 +248,7 @@ def federation_summary(
     shard_round_logs: Sequence[Sequence[object]],
     shard_eviction_counts: Optional[Sequence[int]] = None,
     tracked_ids: Optional[Sequence[int]] = None,
+    timing: Optional[FederationTiming] = None,
 ) -> FederationSummary:
     """Aggregate per-shard runs into one :class:`FederationSummary`.
 
@@ -258,4 +293,5 @@ def federation_summary(
         eviction_count=sum(shard.eviction_count for shard in shards),
         capacity_weighted_utilization=capacity_weighted_utilization(pooled_log),
         routing_imbalance=imbalance,
+        timing=timing,
     )

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, Optional, Sequence
 
 from repro.core.exceptions import ConfigurationError
 from repro.core.job import Job
@@ -132,15 +132,26 @@ class PhillyTraceGenerator:
             user=f"user-{rng.randrange(16)}",
         )
 
-    def generate(self) -> Trace:
+    def iter_jobs(self) -> Iterator[Job]:
+        """Lazily yield the trace's jobs in ``(arrival_time, job_id)`` order.
+
+        Identical RNG draw sequence to :meth:`generate` -- the two produce the
+        same jobs bit-for-bit -- but O(1) memory: streaming federation runs
+        (``ParallelFederationEngine.run_stream``) consume million-job traces
+        through this without the parent process ever holding the trace.
+        """
         rng = random.Random(self.seed)
         mean_inter_arrival = 3600.0 / self.jobs_per_hour
         arrival = 0.0
-        jobs: List[Job] = []
         for index in range(self.num_jobs):
-            jobs.append(self._make_job(index, arrival, rng))
+            yield self._make_job(index, arrival, rng)
             arrival += rng.expovariate(1.0 / mean_inter_arrival)
-        return Trace(jobs=jobs, name=f"philly-{self.jobs_per_hour:g}jph-seed{self.seed}")
+
+    def generate(self) -> Trace:
+        return Trace(
+            jobs=list(self.iter_jobs()),
+            name=f"philly-{self.jobs_per_hour:g}jph-seed{self.seed}",
+        )
 
 
 def generate_philly_trace(

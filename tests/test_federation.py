@@ -31,10 +31,11 @@ from repro.federation import (
     QueueDelayRouter,
     RoundRobinRouter,
     ShardSimulator,
-    ShardView,
+    ShardViewSummary,
     build_uniform_shards,
     make_router,
     router_names,
+    summarize_shard,
 )
 from repro.metrics.summary import FederationSummary, federation_summary, percentile
 from repro.policies.placement.consolidated import ConsolidatedPlacement
@@ -305,7 +306,8 @@ def test_make_router_unknown_name():
 # ----------------------------------------------------------------------
 
 
-def _view(shard_id, num_nodes=2, gpus_per_node=4, gpu_type="v100", jobs=(), queued=(), now=0.0):
+def _view(shard_id, num_nodes=2, gpus_per_node=4, gpu_type="v100", jobs=(), queued=(),
+          now=0.0, all_failed=False):
     cluster = build_cluster(num_nodes=num_nodes, gpus_per_node=gpus_per_node, gpu_type=gpu_type)
     from repro.core.job_state import JobState
 
@@ -319,7 +321,10 @@ def _view(shard_id, num_nodes=2, gpus_per_node=4, gpu_type="v100", jobs=(), queu
 
             job.allocated_gpus = sorted(gpu_ids)
             job.status = JobStatus.RUNNING
-    return ShardView(
+    if all_failed:
+        for node_id in list(cluster.nodes):
+            cluster.mark_node_failed(node_id)
+    return summarize_shard(
         shard_id=shard_id,
         cluster_state=cluster,
         job_state=state,
@@ -330,6 +335,7 @@ def _view(shard_id, num_nodes=2, gpus_per_node=4, gpu_type="v100", jobs=(), queu
 
 def test_round_robin_cycles_deterministically():
     views = [_view(0), _view(1), _view(2)]
+    assert all(isinstance(v, ShardViewSummary) for v in views)
     job = Job(arrival_time=0.0, num_gpus=1, duration=600.0, job_id=1)
     router = make_router("round-robin")
     first = [router.route(job, views) for _ in range(6)]
@@ -360,11 +366,9 @@ def test_gpu_affinity_prefers_matching_type():
 
 
 def test_routers_avoid_dead_shards():
-    # A fully failed shard reports capacity_utilization() == 0.0; it must
+    # A fully failed shard reports capacity_utilization == 0.0; it must
     # rank as maximally loaded, not as idle, for every load-based router.
-    dead = _view(0)
-    for node_id in list(dead.cluster_state.nodes):
-        dead.cluster_state.mark_node_failed(node_id)
+    dead = _view(0, all_failed=True)
     busy_job = Job(arrival_time=0.0, num_gpus=4, duration=7200.0, job_id=70)
     busy = _view(1, jobs=[(busy_job, 4)])
     job = Job(arrival_time=0.0, num_gpus=1, duration=600.0, job_id=1)
