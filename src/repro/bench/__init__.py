@@ -21,10 +21,21 @@ over PR.
 path (CentralScheduler, fast-forward on and off) and plain simulation with
 identical deterministic overheads -- schedule-parity checked -- plus the
 Fig. 19 lease-scaling sweep comparing central vs optimistic renewal.
+
+``python -m repro.bench --chaos`` runs the **chaos** benchmark: kill-one-
+worker recovery parity for the supervised parallel federation and the
+``chaos`` scenario under seeded RPC fault injection, merging a ``"chaos"``
+section into ``BENCH_federation.json`` and ``BENCH_runtime.json``.
 """
 
+from repro.bench.chaos_bench import run_chaos_bench
 from repro.bench.core_bench import run_core_bench
 from repro.bench.policy_bench import run_policy_bench
 from repro.bench.runtime_bench import run_runtime_bench
 
-__all__ = ["run_core_bench", "run_policy_bench", "run_runtime_bench"]
+__all__ = [
+    "run_chaos_bench",
+    "run_core_bench",
+    "run_policy_bench",
+    "run_runtime_bench",
+]

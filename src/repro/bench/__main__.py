@@ -6,6 +6,7 @@ import argparse
 import json
 import sys
 
+from repro.bench.chaos_bench import run_chaos_bench
 from repro.bench.core_bench import run_core_bench
 from repro.bench.federation_bench import run_federation_bench
 from repro.bench.runtime_bench import run_runtime_bench
@@ -44,6 +45,17 @@ def main(argv=None) -> int:
             "run the federation benchmark instead: every routing policy x "
             "shard count on the Philly workload, per-shard fast-forward vs "
             "stepping schedule-parity checked (writes BENCH_federation.json)"
+        ),
+    )
+    mode.add_argument(
+        "--chaos",
+        action="store_true",
+        help=(
+            "run the chaos benchmark instead: SIGKILL a federation worker "
+            "mid-run (checkpoint/replay recovery must be bit-identical) and "
+            "drive the chaos scenario under seeded RPC faults (schedule "
+            "parity, zero leaked leases); merges a 'chaos' section into "
+            "BENCH_federation.json and BENCH_runtime.json"
         ),
     )
     parser.add_argument(
@@ -116,7 +128,19 @@ def main(argv=None) -> int:
     else:
         default_out = "BENCH_core.json"
     out_path = None if args.out == "-" else (args.out or default_out)
-    if args.runtime:
+    if args.chaos:
+        # --chaos merges into both bench reports; --out - skips writing, any
+        # other --out value is rejected (there is no single output file).
+        if args.out not in (None, "-"):
+            parser.error("--chaos writes BENCH_federation.json and "
+                         "BENCH_runtime.json; only '--out -' is supported")
+        write = args.out != "-"
+        report = run_chaos_bench(
+            smoke=args.smoke,
+            federation_out="BENCH_federation.json" if write else None,
+            runtime_out="BENCH_runtime.json" if write else None,
+        )
+    elif args.runtime:
         report = run_runtime_bench(smoke=args.smoke, out_path=out_path)
     elif args.federation:
         report = run_federation_bench(
@@ -136,6 +160,25 @@ def main(argv=None) -> int:
         )
     json.dump(report, sys.stdout, indent=2)
     print()
+    if args.chaos:
+        failed = []
+        federation = report["federation"]
+        runtime = report["runtime"]
+        if not federation["all_kill_parity"]:
+            failed.append("kill-one-worker schedule parity")
+        if not federation["all_kills_recovered"]:
+            failed.append("worker restarts recorded")
+        if not federation["degrade_ok"]:
+            failed.append("degradation job conservation")
+        if not runtime["all_schedule_parity"]:
+            failed.append("schedule parity under RPC faults")
+        if not runtime["zero_leaked_leases"]:
+            failed.append("zero leaked leases")
+        if not runtime["recovery_counters_nonzero"]:
+            failed.append("nonzero retry/recovery counters")
+        if failed:
+            print(f"chaos bench FAILED: {', '.join(failed)}", file=sys.stderr)
+            return 1
     if args.runtime:
         failed = []
         if not report["all_schedule_parity"]:

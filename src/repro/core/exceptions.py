@@ -41,6 +41,12 @@ class LeaseError(BloxError):
     """The lease protocol between scheduler and workers was violated."""
 
 
+class RpcFaultError(BloxError):
+    """An RPC failed permanently: every delivery attempt was consumed by
+    injected faults (or retries were disabled).  Only raised under a
+    :class:`~repro.runtime.rpc.FaultPlan`; fault-free channels never fail."""
+
+
 class TraceFormatError(ConfigurationError, ValueError):
     """A workload trace file or record could not be parsed.
 

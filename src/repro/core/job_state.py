@@ -85,6 +85,14 @@ class JobState:
         #: notion of "now" (Themis' fairness estimate, Tiresias' starvation
         #: guard, Optimus' convergence rate) can read it without a side channel.
         self.current_time: float = 0.0
+        #: Incremented every time this registry crosses a pickle boundary.
+        #: ``__getstate__`` drops observer registrations (they are weak refs
+        #: to live policy objects), but when a *whole simulator* is pickled --
+        #: checkpoint/restart of a federation shard -- the policy index comes
+        #: along in the same graph, still pointing at this registry by
+        #: identity, and its ``bind()`` would short-circuit forever.  Indexes
+        #: compare this epoch on bind and re-attach when it moved.
+        self.bind_epoch: int = 0
 
     # ------------------------------------------------------------------
     # Observers
@@ -164,6 +172,9 @@ class JobState:
         crosses the process boundary.
         """
         self.__dict__.update(state)
+        # A restored registry has no observers; any index unpickled in the
+        # same graph must notice and re-attach (see ``bind_epoch``).
+        self.bind_epoch = state.get("bind_epoch", 0) + 1
         for job in self._jobs.values():
             job.__dict__["_registry"] = self
 

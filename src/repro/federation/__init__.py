@@ -10,7 +10,37 @@ protocol (:class:`ParallelFederationEngine`) with bit-identical results.
 Per-shard event-skipping fast-forward stays active between routing events,
 and every per-shard schedule is parity-checked against per-round stepping and
 serial-vs-parallel execution (``python -m repro.bench --federation``).
+
+Worker failures are classified by a small taxonomy (defined here, at the
+package root, so :mod:`repro.federation.parallel` can raise them without an
+import cycle): :class:`RetryableWorkerError` for failures a supervisor may
+recover from by respawn + checkpoint replay (crash, hang, lost pipe), and
+:class:`FatalWorkerError` for deterministic failures where a retry would just
+reproduce the problem (a worker-side exception, restart budget exhausted, the
+whole federation dead).  Both subclass
+:class:`~repro.core.exceptions.SimulationError`, so unsupervised callers keep
+seeing the error type they always did.  See ``docs/robustness.md``.
 """
+
+from repro.core.exceptions import SimulationError
+
+
+class FederationWorkerError(SimulationError):
+    """A federation shard worker misbehaved; message carries shard ids,
+    worker pid and the last-known protocol phase."""
+
+
+class RetryableWorkerError(FederationWorkerError):
+    """The worker crashed, hung or lost its pipe -- state is gone but the
+    failure is environmental: a supervisor can respawn the worker and replay
+    its shards from the last checkpoint."""
+
+
+class FatalWorkerError(FederationWorkerError):
+    """Recovery is pointless or exhausted: a deterministic worker-side
+    exception (replay would reproduce it), an exceeded restart budget, or no
+    surviving shard to degrade onto."""
+
 
 from repro.federation.engine import (
     FederationEngine,
@@ -26,6 +56,8 @@ from repro.federation.parallel import (
     FederationStreamResult,
     ParallelFederationEngine,
     ShardFinishStats,
+    SupervisorConfig,
+    WorkerKillPlan,
     WorkerPoolBackend,
     default_worker_count,
 )
@@ -45,23 +77,28 @@ from repro.federation.shard import BoundedClusterManager, ShardSimulator
 
 __all__ = [
     "BoundedClusterManager",
+    "FatalWorkerError",
     "FederationEngine",
     "FederationResult",
     "FederationRouter",
     "FederationStreamResult",
+    "FederationWorkerError",
     "GpuTypeAffinityRouter",
     "LeastLoadedRouter",
     "LocalShardBackend",
     "ParallelFederationEngine",
     "QueueDelayRouter",
     "ROUTER_FACTORIES",
+    "RetryableWorkerError",
     "RoundRobinRouter",
     "ScenarioManagerFactory",
     "ShardBackend",
     "ShardFinishStats",
     "ShardSimulator",
     "ShardViewSummary",
+    "SupervisorConfig",
     "UniformShardFactory",
+    "WorkerKillPlan",
     "WorkerPoolBackend",
     "build_uniform_shards",
     "default_worker_count",

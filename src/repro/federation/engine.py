@@ -43,7 +43,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cluster.builder import build_cluster
 from repro.core.abstractions import ClusterManager
@@ -52,6 +52,7 @@ from repro.core.job import Job
 from repro.federation.router import FederationRouter, ShardViewSummary
 from repro.federation.shard import ShardSimulator
 from repro.metrics.summary import (
+    FaultStats,
     FederationSummary,
     FederationTiming,
     SummaryStats,
@@ -96,6 +97,9 @@ class FederationResult:
     #: Worker processes that executed the shards; 0 means the in-process
     #: serial engine.
     workers: int = 0
+    #: Fault-injection/recovery counters when the run was supervised
+    #: (``docs/robustness.md``); ``None`` for unsupervised runs.
+    fault_stats: Optional[FaultStats] = None
 
     @property
     def num_shards(self) -> int:
@@ -189,6 +193,20 @@ class ShardBackend:
         """Drain every shard to completion and collect its result."""
         raise NotImplementedError
 
+    def take_orphans(self) -> List[Tuple[Job, int]]:
+        """Drain jobs stranded by shards that died since the last call.
+
+        Each entry is ``(job, shard_id_it_was_routed_to)``, ordered by the
+        global ``(arrival_time, job_id)`` routing order so re-routing is
+        deterministic.  Backends without graceful degradation (the serial
+        one, unsupervised pools) never strand jobs and return nothing.
+        """
+        return []
+
+    def dead_shard_ids(self) -> frozenset:
+        """Shards marked dead by graceful degradation (empty when healthy)."""
+        return frozenset()
+
     def close(self) -> None:
         """Release backend resources (terminate workers); idempotent."""
 
@@ -251,6 +269,14 @@ def drive_federation(
     -- by exactly its queue terms -- so the loop applies
     :meth:`~repro.federation.router.ShardViewSummary.with_queued` to that one
     entry instead of re-materialising every shard's view per gang.
+
+    Graceful degradation: when the backend marks a shard dead (supervised
+    worker pool, ``on_unrecoverable="degrade"``), its summary reports zero
+    capacity -- the feasibility filter below then excludes it for every gang
+    with no special-casing -- and its stranded jobs come back through
+    :meth:`ShardBackend.take_orphans`, which the loop re-routes over the
+    survivors ahead of new arrivals, in the same deterministic
+    ``(arrival_time, job_id)`` order the jobs were first routed in.
     """
     routing_time = 0.0
     advance_time = 0.0
@@ -262,6 +288,39 @@ def drive_federation(
     if pending is None:
         raise ConfigurationError("cannot federate an empty workload")
     last_key = (pending.arrival_time, pending.job_id)
+    summaries: List[ShardViewSummary] = []
+
+    def route_one(job: Job) -> None:
+        # Feasibility: a gang larger than a shard's entire GPU pool can
+        # never be placed there -- routing it would starve it (and the
+        # shard's loop) forever, so such shards are not offered.  Dead
+        # shards report zero GPUs and fall out of the same test; the
+        # explicit dead-set check covers shards that died *after* the last
+        # advance, whose summaries still look alive.
+        dead = backend.dead_shard_ids()
+        feasible = [
+            s
+            for s in summaries
+            if s.total_gpus >= job.num_gpus and s.shard_id not in dead
+        ]
+        if not feasible:
+            raise SimulationError(
+                f"job {job.job_id} requests {job.num_gpus} GPUs, more "
+                "than any surviving shard owns; no feasible routing exists"
+            )
+        choice = router.route(job, feasible)
+        if choice not in {s.shard_id for s in feasible}:
+            raise SimulationError(
+                f"router {router.name!r} returned shard {choice} "
+                f"for job {job.job_id}, which is not among the "
+                f"feasible shards {sorted(s.shard_id for s in feasible)}"
+            )
+        backend.submit(choice, job)
+        summaries[choice] = summaries[choice].with_queued(job)
+        jobs_per_shard[choice] += 1
+        if assignments is not None:
+            assignments[job.job_id] = choice
+
     while pending is not None:
         started = time.perf_counter()
         summaries = list(backend.advance(pending.arrival_time))
@@ -270,6 +329,11 @@ def drive_federation(
         # boundary: the first round start at or after the arrival.
         now = summaries[0].current_time
         started = time.perf_counter()
+        # Jobs stranded by shards that died during that advance are
+        # re-routed first: they arrived before anything still pending.
+        for orphan, old_shard in backend.take_orphans():
+            jobs_per_shard[old_shard] -= 1
+            route_one(orphan)
         while pending is not None and pending.arrival_time <= now:
             job = pending
             key = (job.arrival_time, job.job_id)
@@ -280,30 +344,23 @@ def drive_federation(
                     "routing requires global (arrival_time, job_id) order"
                 )
             last_key = key
-            # Feasibility: a gang larger than a shard's entire GPU pool can
-            # never be placed there -- routing it would starve it (and the
-            # shard's loop) forever, so such shards are not offered.
-            feasible = [s for s in summaries if s.total_gpus >= job.num_gpus]
-            if not feasible:
-                raise SimulationError(
-                    f"job {job.job_id} requests {job.num_gpus} GPUs, more "
-                    "than any shard owns; no feasible routing exists"
-                )
-            choice = router.route(job, feasible)
-            if choice not in {s.shard_id for s in feasible}:
-                raise SimulationError(
-                    f"router {router.name!r} returned shard {choice} "
-                    f"for job {job.job_id}, which is not among the "
-                    f"feasible shards {sorted(s.shard_id for s in feasible)}"
-                )
-            backend.submit(choice, job)
-            summaries[choice] = summaries[choice].with_queued(job)
-            jobs_per_shard[choice] += 1
+            route_one(job)
             total_jobs += 1
-            if assignments is not None:
-                assignments[job.job_id] = choice
             pending = next(stream, None)
         routing_time += time.perf_counter() - started
+    # A death during the last routing burst (or during an orphan re-submit)
+    # can strand jobs after the arrival stream is exhausted; keep re-routing
+    # until no orphans remain.  Submits still land before the backend's
+    # ``finish`` drain (pipe FIFO), so re-routed gangs are scheduled normally.
+    started = time.perf_counter()
+    while True:
+        orphans = backend.take_orphans()
+        if not orphans:
+            break
+        for orphan, old_shard in orphans:
+            jobs_per_shard[old_shard] -= 1
+            route_one(orphan)
+    routing_time += time.perf_counter() - started
     return DriveStats(
         assignments=assignments,
         jobs_per_shard=jobs_per_shard,

@@ -12,9 +12,10 @@ Protocol
 Each worker owns one or more :class:`~repro.federation.shard.ShardSimulator`
 instances (shard ``i`` lives on worker ``i % workers``) built *in the worker*
 from a picklable :class:`~repro.federation.engine.UniformShardFactory` -- live
-simulators never cross the pipe (their policy indexes re-bind by object
-identity and would silently go stale after unpickling).  Over its duplex pipe
-a worker answers:
+simulators never cross the pipe on the hot path (they *do* cross it as opaque
+checkpoint blobs under supervision, which is safe since the PR 6 picklability
+contract plus registry ``bind_epoch`` healing made whole-simulator round-trips
+bit-exact).  Over its duplex pipe a worker answers:
 
 * ``("advance", stop_time)`` -> ``("ok", [ShardViewSummary, ...])`` -- run
   every owned shard to the pause point before ``stop_time`` and report their
@@ -26,13 +27,45 @@ a worker answers:
 * ``("finish_stats",)`` -> ``("ok", [ShardFinishStats, ...])`` -- same drain,
   but reduce each result to compact statistics *inside the worker* (streaming
   runs: the parent never holds a full shard result);
+* ``("checkpoint",)`` -> ``("ok", [bytes, ...])`` -- pickle every owned shard
+  and ship the blobs (supervision only);
+* ``("restore", [blob_or_None, ...])`` -> ``("ok", None)`` -- rebuild owned
+  shards from checkpoint blobs (``None`` means "build fresh from the
+  factory": the shard never reached a checkpoint);
+* ``("hang", seconds)`` -- sleep without replying (test hook: a worker whose
+  main loop is stuck but whose heartbeat thread keeps beating, the case only
+  a bounded collect timeout can detect);
 * ``("close",)`` -- exit.
 
 Any worker-side exception is shipped back as ``("error", traceback)`` and
-re-raised in the parent as a :class:`~repro.core.exceptions.SimulationError`;
-a worker that dies without replying (crash, ``os._exit``, OOM-kill) is
-detected by polling with liveness checks, so the parent raises instead of
-hanging on a silent pipe.
+re-raised in the parent as a :class:`~repro.federation.FatalWorkerError`; a
+worker that dies without replying (crash, ``os._exit``, OOM-kill) or goes
+silent is detected by polling with liveness checks and raised as a
+:class:`~repro.federation.RetryableWorkerError` -- which, under supervision,
+is caught and recovered instead.
+
+Supervision
+-----------
+
+Pass a :class:`SupervisorConfig` to enable the recovery layer (see
+``docs/robustness.md``).  The parent then keeps, per shard, the last
+checkpoint blob plus a *command log* of everything sent since that checkpoint
+(advances, and submits as pickled-at-send job bytes).  Workers emit
+heartbeats from a side thread.  When a worker crashes, hangs past
+``collect_timeout_s``, or goes silent past ``heartbeat_timeout_s``, the
+supervisor respawns it with exponential backoff, restores its shards from
+their checkpoints, replays the command log, and re-sends the in-flight
+command.  Because shards are deterministic functions of their command
+history, the recovered run is **bit-identical to a fault-free run** -- the
+chaos leg of ``python -m repro.bench --chaos`` gates on exactly this.
+
+When the restart budget is exhausted, ``on_unrecoverable`` picks the policy:
+``"raise"`` aborts with :class:`~repro.federation.FatalWorkerError`;
+``"degrade"`` marks the worker's shards dead -- their un-checkpointed
+(queued-but-unrouted) jobs become *orphans* that
+:func:`~repro.federation.engine.drive_federation` deterministically re-routes
+to surviving shards, while jobs already inside the dead shards' checkpoints
+are reported lost via :class:`~repro.metrics.summary.FaultStats`.
 
 Determinism
 -----------
@@ -44,20 +77,25 @@ backend calls in-process, and same-round refreshes happen parent-side via
 ``with_queued`` in both engines.  Shards never observe anything but their own
 submitted gangs and clock bounds, so their schedules -- and hence the round
 logs, job timings and results -- match the serial run exactly.
-``python -m repro.bench --federation`` gates on this parity.
+``python -m repro.bench --federation`` gates on this parity, and
+``--chaos`` gates on it surviving worker kills.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import signal
+import threading
 import time
 import traceback
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.exceptions import ConfigurationError, SimulationError
 from repro.core.job import Job
+from repro.federation import FatalWorkerError, RetryableWorkerError
 from repro.federation.engine import (
     FederationEngine,
     FederationResult,
@@ -66,11 +104,13 @@ from repro.federation.engine import (
     drive_federation,
 )
 from repro.federation.router import FederationRouter, ShardViewSummary
-from repro.metrics.summary import SummaryStats, jct_summary
+from repro.metrics.summary import FaultStats, SummaryStats, jct_summary
 from repro.simulator.engine import SimulationResult
 
 __all__ = [
     "ParallelFederationEngine",
+    "SupervisorConfig",
+    "WorkerKillPlan",
     "WorkerPoolBackend",
     "ShardFinishStats",
     "FederationStreamResult",
@@ -80,6 +120,10 @@ __all__ = [
 #: Seconds between liveness checks while waiting on a worker reply.
 _POLL_INTERVAL_S = 0.2
 
+#: Sentinel distinguishing "use the backend default" from an explicit None
+#: (= unbounded) in ``_recv``.
+_DEFAULT_TIMEOUT = object()
+
 
 def default_worker_count(num_shards: int) -> int:
     """Workers to use when unspecified: one per shard, capped at usable cores."""
@@ -88,6 +132,73 @@ def default_worker_count(num_shards: int) -> int:
     except AttributeError:
         usable = os.cpu_count() or 1
     return max(1, min(num_shards, usable))
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Recovery policy of a supervised :class:`WorkerPoolBackend`.
+
+    Defaults are tuned for simulation workloads: cheap frequent checkpoints
+    (shards pickle in milliseconds), short backoff (respawning a worker is
+    fork + restore, not a container pull).  All knobs are documented in
+    ``docs/robustness.md``.
+    """
+
+    #: Checkpoint every N successful advances (arrival boundaries); 0
+    #: disables periodic checkpoints (recovery then replays from the start,
+    #: still bit-exact but O(run) instead of O(interval)).
+    checkpoint_interval: int = 8
+    #: Seconds between worker heartbeats (side thread; beats even while the
+    #: main loop computes an advance).
+    heartbeat_interval_s: float = 0.5
+    #: Declare a worker silent after this many seconds without *any* message;
+    #: ``None`` disables the silence detector (collect timeouts still apply).
+    heartbeat_timeout_s: Optional[float] = 10.0
+    #: Respawn attempts per incident before the worker is unrecoverable.
+    #: The counter resets after every successful advance, so the budget
+    #: bounds consecutive failures, not lifetime failures.
+    max_restarts: int = 2
+    #: Exponential backoff before respawn attempt k: ``base * 2**(k-1)``,
+    #: capped at ``backoff_max_s``.
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    #: What to do when the restart budget is exhausted: ``"raise"`` aborts
+    #: the run, ``"degrade"`` marks the shards dead and re-routes their
+    #: orphaned jobs to survivors.
+    on_unrecoverable: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.on_unrecoverable not in ("raise", "degrade"):
+            raise ConfigurationError(
+                "on_unrecoverable must be 'raise' or 'degrade', got "
+                f"{self.on_unrecoverable!r}"
+            )
+        if self.max_restarts < 0:
+            raise ConfigurationError(
+                f"max_restarts must be >= 0, got {self.max_restarts}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkerKillPlan:
+    """Deterministic SIGKILL injection for chaos tests and the chaos bench.
+
+    Each entry ``(advance_index, worker_index)`` kills that worker at the
+    given 0-based advance call -- ``when="before"`` ahead of the broadcast
+    (the submit window is in flight), ``when="after"`` between broadcast and
+    collect (the advance itself is in flight).  Recovery parity must hold for
+    either timing, which is exactly what makes the checkpoint/replay design
+    trustworthy: the *result* may not depend on when the kill lands.
+    """
+
+    kills: Tuple[Tuple[int, int], ...]
+    when: str = "before"
+
+    def __post_init__(self) -> None:
+        if self.when not in ("before", "after"):
+            raise ConfigurationError(
+                f"kill plan 'when' must be 'before' or 'after', got {self.when!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -123,14 +234,49 @@ def _finish_stats(shard_id: int, result: SimulationResult) -> ShardFinishStats:
     )
 
 
-def _worker_main(conn, factory: UniformShardFactory, shard_ids: Sequence[int]) -> None:
-    """Worker process entry point: build owned shards, answer the protocol."""
+def _worker_main(
+    conn,
+    factory: UniformShardFactory,
+    shard_ids: Sequence[int],
+    build: bool = True,
+    heartbeat_interval_s: Optional[float] = None,
+) -> None:
+    """Worker process entry point: build owned shards, answer the protocol.
+
+    ``build=False`` is the respawn path: the supervisor restores state via
+    ``("restore", blobs)`` right after the handshake, so building shards here
+    would be wasted work thrown away a message later.
+    """
+    send_lock = threading.Lock()
+
+    def send(message) -> None:
+        # The heartbeat thread and the main loop share the pipe; Connection
+        # writes are not atomic across threads, so serialise them.
+        with send_lock:
+            conn.send(message)
+
+    if heartbeat_interval_s is not None:
+        stop_beating = threading.Event()
+
+        def beat() -> None:
+            while not stop_beating.wait(heartbeat_interval_s):
+                try:
+                    send(("heartbeat", None))
+                except Exception:
+                    return
+
+        threading.Thread(target=beat, daemon=True, name="shard-heartbeat").start()
     try:
-        shards = {shard_id: factory.build(shard_id) for shard_id in shard_ids}
-        conn.send(("ready", [shards[s].manager.round_duration for s in shard_ids]))
+        shards = (
+            {shard_id: factory.build(shard_id) for shard_id in shard_ids}
+            if build
+            else {}
+        )
+        durations = [shards[s].manager.round_duration for s in shards]
+        send(("ready", durations))
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc()))
+            send(("error", traceback.format_exc()))
         finally:
             conn.close()
         return
@@ -142,16 +288,35 @@ def _worker_main(conn, factory: UniformShardFactory, shard_ids: Sequence[int]) -
                 stop_time = message[1]
                 for shard_id in shard_ids:
                     shards[shard_id].run_until(stop_time)
-                conn.send(("ok", [shards[s].view_summary() for s in shard_ids]))
+                send(("ok", [shards[s].view_summary() for s in shard_ids]))
             elif command == "submit":
                 _, shard_id, job = message
+                if isinstance(job, (bytes, bytearray)):
+                    # Replayed submit: the supervisor logs jobs as the bytes
+                    # pickled at original send time, for bit-equality.
+                    job = pickle.loads(job)
                 shards[shard_id].submit(job)
+            elif command == "checkpoint":
+                send(("ok", [pickle.dumps(shards[s]) for s in shard_ids]))
+            elif command == "restore":
+                blobs = message[1]
+                shards = {
+                    shard_id: (
+                        pickle.loads(blob)
+                        if blob is not None
+                        else factory.build(shard_id)
+                    )
+                    for shard_id, blob in zip(shard_ids, blobs)
+                }
+                send(("ok", None))
             elif command == "finish":
-                conn.send(("ok", [shards[s].finish() for s in shard_ids]))
+                send(("ok", [shards[s].finish() for s in shard_ids]))
             elif command == "finish_stats":
-                conn.send(
+                send(
                     ("ok", [_finish_stats(s, shards[s].finish()) for s in shard_ids])
                 )
+            elif command == "hang":
+                time.sleep(message[1])
             elif command == "close":
                 return
             else:
@@ -161,11 +326,40 @@ def _worker_main(conn, factory: UniformShardFactory, shard_ids: Sequence[int]) -
         return
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc()))
+            send(("error", traceback.format_exc()))
         except Exception:
             pass
     finally:
         conn.close()
+
+
+def _dead_summary(shard_id: int, current_time: float) -> ShardViewSummary:
+    """Routing view of a dead shard: zero capacity.
+
+    ``total_gpus=0`` makes the driver's feasibility filter exclude the shard
+    for every gang (no job needs zero GPUs), and the routers' load key
+    already ranks ``healthy_capacity <= 0`` shards maximally loaded -- so a
+    dead shard needs no special case anywhere downstream of this summary.
+    """
+    return ShardViewSummary(
+        shard_id=shard_id,
+        current_time=current_time,
+        total_gpus=0,
+        healthy_capacity=0.0,
+        capacity_utilization=1.0,
+    )
+
+
+def _empty_result(shard_id: int, round_duration: float) -> SimulationResult:
+    """Placeholder finish payload of a dead shard (degraded runs)."""
+    return SimulationResult(
+        jobs=[],
+        tracked_job_ids=[],
+        round_duration=round_duration,
+        rounds=0,
+        end_time=0.0,
+        round_log=[],
+    )
 
 
 class WorkerPoolBackend(ShardBackend):
@@ -176,6 +370,12 @@ class WorkerPoolBackend(ShardBackend):
     Shard ``i`` lives on worker ``i % workers``, which keeps any number of
     shards runnable on a fixed pool (the 64-shard demo on an 8-worker pool)
     and spreads the lockstep load evenly for uniform shards.
+
+    With ``supervisor=None`` (the default) behavior is exactly the
+    pre-supervision backend: no heartbeats, no checkpoints, no command log,
+    and any worker failure raises.  ``collect_timeout_s`` bounds every reply
+    wait independently of supervision (``None`` preserves the historical
+    unbounded blocking collect).
     """
 
     def __init__(
@@ -185,55 +385,138 @@ class WorkerPoolBackend(ShardBackend):
         workers: int,
         mp_context: Optional[str] = None,
         handshake_timeout_s: float = 120.0,
+        collect_timeout_s: Optional[float] = None,
+        supervisor: Optional[SupervisorConfig] = None,
+        kill_plan: Optional[WorkerKillPlan] = None,
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if collect_timeout_s is not None and collect_timeout_s <= 0:
+            raise ConfigurationError(
+                f"collect_timeout_s must be positive or None, got {collect_timeout_s}"
+            )
         self.num_shards = num_shards
         self.workers = min(workers, num_shards)
-        ctx = multiprocessing.get_context(mp_context)
+        self.collect_timeout_s = collect_timeout_s
+        self._factory = factory
+        self._supervisor = supervisor
+        self._kill_plan = kill_plan
+        self._handshake_timeout_s = handshake_timeout_s
+        self._ctx = multiprocessing.get_context(mp_context)
         self._owned: List[List[int]] = [[] for _ in range(self.workers)]
         for shard_id in range(num_shards):
             self._owned[shard_id % self.workers].append(shard_id)
-        self._conns = []
-        self._procs = []
+        self._conns: List[object] = [None] * self.workers
+        self._procs: List[object] = [None] * self.workers
+        self._phase: List[str] = ["spawn"] * self.workers
+        self._last_beat: List[float] = [0.0] * self.workers
+        self._restarts: List[int] = [0] * self.workers
         self._closed = False
+        # Supervision state: per-shard checkpoint blobs (None = build fresh
+        # from the factory), plus the global command log since the last
+        # checkpoint.  Only populated when a supervisor is configured.
+        self._checkpoints: List[Optional[bytes]] = [None] * num_shards
+        self._log: List[tuple] = []
+        self._advance_index = 0
+        self._advances_since_checkpoint = 0
+        self._submit_counts: List[int] = [0] * num_shards
+        self._dead_workers: set = set()
+        self._dead_shards: set = set()
+        #: Orphans awaiting re-route: (job, shard it was originally routed to).
+        self._orphans: List[Tuple[Job, int]] = []
+        self._stat_restarts = 0
+        self._stat_checkpoints = 0
+        self._stat_replayed = 0
+        self._stat_rerouted = 0
+        self._stat_lost = 0
         try:
             for worker_index in range(self.workers):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(child_conn, factory, self._owned[worker_index]),
-                    name=f"federation-shard-worker-{worker_index}",
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()
-                self._conns.append(parent_conn)
-                self._procs.append(proc)
+                self._spawn(worker_index, build=True)
             self.round_duration = self._handshake(handshake_timeout_s)
         except BaseException:
             self.close()
             raise
 
     # ------------------------------------------------------------------
+    # Process lifecycle
+    # ------------------------------------------------------------------
+
+    def _spawn(self, worker_index: int, build: bool) -> None:
+        heartbeat = (
+            self._supervisor.heartbeat_interval_s
+            if self._supervisor is not None
+            else None
+        )
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self._factory, self._owned[worker_index], build, heartbeat),
+            name=f"federation-shard-worker-{worker_index}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        self._conns[worker_index] = parent_conn
+        self._procs[worker_index] = proc
+        self._last_beat[worker_index] = time.monotonic()
+        self._phase[worker_index] = "handshake"
+
+    def _reap(self, worker_index: int) -> None:
+        """Tear down a failed worker's process and pipe (idempotent)."""
+        proc = self._procs[worker_index]
+        conn = self._conns[worker_index]
+        if proc is not None:
+            if proc.is_alive():
+                proc.kill()
+            proc.join(timeout=5.0)
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _describe(self, worker_index: int) -> str:
+        """Identify a worker in error messages: shards, pid, last phase."""
+        proc = self._procs[worker_index]
+        pid = proc.pid if proc is not None else None
+        return (
+            f"federation worker {worker_index} (shards "
+            f"{self._owned[worker_index]}, pid {pid}, "
+            f"phase {self._phase[worker_index]!r})"
+        )
+
+    # ------------------------------------------------------------------
     # Pipe plumbing with crash detection
     # ------------------------------------------------------------------
 
-    def _recv(self, worker_index: int, timeout_s: Optional[float] = None):
-        """Receive one reply, raising instead of hanging if the worker died."""
+    def _recv(self, worker_index: int, timeout_s=_DEFAULT_TIMEOUT):
+        """Receive one reply, raising instead of hanging if the worker died.
+
+        Heartbeat messages are drained (and refresh the liveness clock) but
+        never returned.  Raises :class:`RetryableWorkerError` for death,
+        silence, or a blown collect timeout, and :class:`FatalWorkerError`
+        for a worker-shipped exception -- a deterministic failure that replay
+        would only reproduce.
+        """
+        if timeout_s is _DEFAULT_TIMEOUT:
+            timeout_s = self.collect_timeout_s
         conn = self._conns[worker_index]
         proc = self._procs[worker_index]
+        cfg = self._supervisor
         deadline = None if timeout_s is None else time.monotonic() + timeout_s
         while True:
             try:
                 if conn.poll(_POLL_INTERVAL_S):
                     reply = conn.recv()
+                    self._last_beat[worker_index] = time.monotonic()
+                    if reply[0] == "heartbeat":
+                        continue
                     break
             except (EOFError, OSError):
-                raise SimulationError(
-                    f"federation worker {worker_index} closed its pipe "
+                raise RetryableWorkerError(
+                    f"{self._describe(worker_index)} closed its pipe "
                     f"unexpectedly (exitcode {proc.exitcode})"
                 )
             if not proc.is_alive():
@@ -242,32 +525,41 @@ class WorkerPoolBackend(ShardBackend):
                 if conn.poll(0):
                     try:
                         reply = conn.recv()
-                        break
+                        if reply[0] != "heartbeat":
+                            break
                     except (EOFError, OSError):
                         pass
-                raise SimulationError(
-                    f"federation worker {worker_index} (shards "
-                    f"{self._owned[worker_index]}) died with exitcode "
+                raise RetryableWorkerError(
+                    f"{self._describe(worker_index)} died with exitcode "
                     f"{proc.exitcode} without replying"
                 )
             if deadline is not None and time.monotonic() > deadline:
-                raise SimulationError(
-                    f"federation worker {worker_index} did not reply within "
-                    f"{timeout_s:.0f}s"
+                raise RetryableWorkerError(
+                    f"{self._describe(worker_index)} did not reply within "
+                    f"{timeout_s:.0f}s (collect timeout)"
+                )
+            if (
+                cfg is not None
+                and cfg.heartbeat_timeout_s is not None
+                and time.monotonic() - self._last_beat[worker_index]
+                > cfg.heartbeat_timeout_s
+            ):
+                raise RetryableWorkerError(
+                    f"{self._describe(worker_index)} went silent (no heartbeat "
+                    f"for {cfg.heartbeat_timeout_s:.0f}s)"
                 )
         tag, payload = reply
         if tag == "error":
-            raise SimulationError(
-                f"federation worker {worker_index} failed:\n{payload}"
-            )
+            raise FatalWorkerError(f"{self._describe(worker_index)} failed:\n{payload}")
         return tag, payload
 
-    def _send(self, worker_index: int, message: tuple) -> None:
+    def _send(self, worker_index: int, message: tuple, phase: Optional[str] = None) -> None:
+        self._phase[worker_index] = phase if phase is not None else message[0]
         try:
             self._conns[worker_index].send(message)
         except (BrokenPipeError, OSError):
-            raise SimulationError(
-                f"federation worker {worker_index} is gone (exitcode "
+            raise RetryableWorkerError(
+                f"{self._describe(worker_index)} is gone (exitcode "
                 f"{self._procs[worker_index].exitcode}); cannot send {message[0]!r}"
             )
 
@@ -276,11 +568,12 @@ class WorkerPoolBackend(ShardBackend):
         for worker_index in range(self.workers):
             tag, payload = self._recv(worker_index, timeout_s)
             if tag != "ready":
-                raise SimulationError(
-                    f"federation worker {worker_index} sent {tag!r} instead of "
+                raise FatalWorkerError(
+                    f"{self._describe(worker_index)} sent {tag!r} instead of "
                     "the ready handshake"
                 )
             durations.update(payload)
+            self._phase[worker_index] = "idle"
         if len(durations) != 1:
             raise ConfigurationError(
                 "shards must share one round_duration for lockstep routing, "
@@ -288,55 +581,286 @@ class WorkerPoolBackend(ShardBackend):
             )
         return durations.pop()
 
-    def _gather(self, command: tuple) -> List[object]:
-        """Broadcast ``command``, collect replies, reassemble in shard order.
+    # ------------------------------------------------------------------
+    # Supervision: respawn, replay, degrade
+    # ------------------------------------------------------------------
 
-        The broadcast goes out to every worker *before* any reply is awaited
-        -- this is the parallelism: all workers advance their shards
-        simultaneously while the parent blocks on the slowest one.
+    def _worker_failure(
+        self, worker_index: int, exc: RetryableWorkerError, resend: Optional[tuple]
+    ) -> bool:
+        """React to a retryable failure: recover (True) or degrade (False).
+
+        Unsupervised backends re-raise -- the historical contract.  Under
+        supervision, the worker is respawned with exponential backoff, its
+        shards restored from their last checkpoints, the command log since
+        those checkpoints replayed, and the in-flight command (``resend``)
+        re-sent.  Replay is what buys bit-identical results: a shard is a
+        deterministic function of its command history, and the log *is* that
+        history.
+        """
+        if self._supervisor is None:
+            raise exc
+        cfg = self._supervisor
+        self._reap(worker_index)
+        while self._restarts[worker_index] < cfg.max_restarts:
+            self._restarts[worker_index] += 1
+            self._stat_restarts += 1
+            delay = min(
+                cfg.backoff_base_s * (2 ** (self._restarts[worker_index] - 1)),
+                cfg.backoff_max_s,
+            )
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                self._respawn_and_replay(worker_index)
+                if resend is not None:
+                    self._send(worker_index, resend)
+                return True
+            except RetryableWorkerError:
+                self._reap(worker_index)
+        if cfg.on_unrecoverable == "degrade":
+            self._degrade(worker_index)
+            return False
+        raise FatalWorkerError(
+            f"{self._describe(worker_index)} unrecoverable after "
+            f"{cfg.max_restarts} restart attempts: {exc}"
+        ) from exc
+
+    def _respawn_and_replay(self, worker_index: int) -> None:
+        self._spawn(worker_index, build=False)
+        tag, _ = self._recv(worker_index, self._handshake_timeout_s)
+        if tag != "ready":
+            raise FatalWorkerError(
+                f"{self._describe(worker_index)} sent {tag!r} instead of the "
+                "ready handshake after respawn"
+            )
+        blobs = [self._checkpoints[s] for s in self._owned[worker_index]]
+        self._send(worker_index, ("restore", blobs), phase="restore")
+        self._recv(worker_index)
+        owned = set(self._owned[worker_index])
+        replayed = 0
+        for entry in self._log:
+            if entry[0] == "advance":
+                self._send(
+                    worker_index,
+                    ("advance", entry[1]),
+                    phase=f"replay-advance t={entry[1]}",
+                )
+                self._recv(worker_index)
+                replayed += 1
+            elif entry[0] == "submit" and entry[1] in owned:
+                self._send(
+                    worker_index,
+                    ("submit", entry[1], entry[2]),
+                    phase=f"replay-submit shard {entry[1]}",
+                )
+                replayed += 1
+        self._stat_replayed += replayed
+        self._phase[worker_index] = "idle"
+
+    def _degrade(self, worker_index: int) -> None:
+        """Mark a worker's shards dead; extract their re-routable orphans.
+
+        The orphans are exactly the submit-log window: jobs routed to the
+        shard after its last checkpoint, which no surviving state has seen --
+        re-routing them is therefore safe (no double execution).  Jobs
+        already inside the checkpoint are gone with the shard and counted as
+        lost.
+        """
+        self._dead_workers.add(worker_index)
+        self._reap(worker_index)
+        self._phase[worker_index] = "dead"
+        for shard_id in self._owned[worker_index]:
+            if shard_id in self._dead_shards:
+                continue
+            self._dead_shards.add(shard_id)
+            window = [e for e in self._log if e[0] == "submit" and e[1] == shard_id]
+            for entry in window:
+                self._orphans.append((pickle.loads(entry[2]), shard_id))
+            self._stat_rerouted += len(window)
+            self._stat_lost += self._submit_counts[shard_id] - len(window)
+        if len(self._dead_shards) >= self.num_shards:
+            raise FatalWorkerError(
+                "every federation shard is dead; nothing left to degrade onto"
+            )
+
+    def _checkpoint(self) -> None:
+        by_shard = self._gather(("checkpoint",))
+        for shard_id, blob in by_shard.items():
+            self._checkpoints[shard_id] = blob
+        # The blobs capture everything the log would replay; truncating it
+        # here is what keeps parent-side memory bounded on streaming runs.
+        self._log.clear()
+        self._advances_since_checkpoint = 0
+        self._stat_checkpoints += 1
+
+    def _inject_kills(self, when: str) -> None:
+        plan = self._kill_plan
+        if plan is None or plan.when != when:
+            return
+        for advance_index, worker_index in plan.kills:
+            if advance_index != self._advance_index:
+                continue
+            if worker_index >= self.workers or worker_index in self._dead_workers:
+                continue
+            proc = self._procs[worker_index]
+            if proc is not None and proc.pid is not None and proc.is_alive():
+                os.kill(proc.pid, signal.SIGKILL)
+
+    # ------------------------------------------------------------------
+    # Broadcast/collect
+    # ------------------------------------------------------------------
+
+    def _gather(self, command: tuple, after_send=None) -> Dict[int, object]:
+        """Broadcast ``command``, collect replies, keyed by shard id.
+
+        The broadcast goes out to every live worker *before* any reply is
+        awaited -- this is the parallelism: all workers advance their shards
+        simultaneously while the parent blocks on the slowest one.  Failures
+        on either leg route through :meth:`_worker_failure`; a shard with no
+        reply (degraded mid-gather) is simply absent from the mapping.
         """
         for worker_index in range(self.workers):
-            self._send(worker_index, command)
+            if worker_index in self._dead_workers:
+                continue
+            try:
+                self._send(worker_index, command)
+            except RetryableWorkerError as exc:
+                self._worker_failure(worker_index, exc, resend=command)
+        if after_send is not None:
+            after_send()
         by_shard: Dict[int, object] = {}
         for worker_index in range(self.workers):
-            _, payload = self._recv(worker_index)
+            if worker_index in self._dead_workers:
+                continue
+            payload = self._collect(worker_index, command)
+            if payload is None:
+                continue
             for shard_id, item in zip(self._owned[worker_index], payload):
                 by_shard[shard_id] = item
-        return [by_shard[shard_id] for shard_id in range(self.num_shards)]
+            self._phase[worker_index] = "idle"
+        return by_shard
+
+    def _collect(self, worker_index: int, command: tuple):
+        while True:
+            try:
+                _, payload = self._recv(worker_index)
+                return payload
+            except RetryableWorkerError as exc:
+                if not self._worker_failure(worker_index, exc, resend=command):
+                    return None
 
     # ------------------------------------------------------------------
     # ShardBackend contract
     # ------------------------------------------------------------------
 
     def advance(self, stop_time: float) -> List[ShardViewSummary]:
-        return self._gather(("advance", stop_time))
+        self._inject_kills("before")
+        by_shard = self._gather(
+            ("advance", stop_time), after_send=lambda: self._inject_kills("after")
+        )
+        self._advance_index += 1
+        if self._supervisor is not None:
+            self._log.append(("advance", stop_time))
+            self._advances_since_checkpoint += 1
+            for worker_index in range(self.workers):
+                if worker_index not in self._dead_workers:
+                    self._restarts[worker_index] = 0
+            interval = self._supervisor.checkpoint_interval
+            if interval > 0 and self._advances_since_checkpoint >= interval:
+                self._checkpoint()
+        if not by_shard:
+            raise FatalWorkerError(
+                "every federation shard is dead; nothing left to advance"
+            )
+        now = next(iter(by_shard.values())).current_time
+        return [
+            by_shard[shard_id] if shard_id in by_shard else _dead_summary(shard_id, now)
+            for shard_id in range(self.num_shards)
+        ]
 
     def submit(self, shard_id: int, job: Job) -> None:
-        self._send(shard_id % self.workers, ("submit", shard_id, job))
+        if shard_id in self._dead_shards:
+            raise SimulationError(
+                f"shard {shard_id} is dead; the router must not route to it"
+            )
+        worker_index = shard_id % self.workers
+        message = ("submit", shard_id, job)
+        try:
+            self._send(worker_index, message, phase=f"submit shard {shard_id}")
+        except RetryableWorkerError as exc:
+            if not self._worker_failure(worker_index, exc, resend=message):
+                # Degraded on the spot: the job never reached any shard, so
+                # it goes straight to the orphan queue for re-routing.
+                self._orphans.append((job, shard_id))
+                self._stat_rerouted += 1
+                return
+        if self._supervisor is not None:
+            self._log.append(("submit", shard_id, pickle.dumps(job)))
+            self._submit_counts[shard_id] += 1
+
+    def take_orphans(self) -> List[Tuple[Job, int]]:
+        """Drain jobs stranded by dead shards, in deterministic route order."""
+        orphans = sorted(
+            self._orphans, key=lambda entry: (entry[0].arrival_time, entry[0].job_id)
+        )
+        self._orphans = []
+        return orphans
+
+    def dead_shard_ids(self) -> frozenset:
+        return frozenset(self._dead_shards)
 
     def finish(self) -> List[SimulationResult]:
-        return self._gather(("finish",))
+        by_shard = self._gather(("finish",))
+        return [
+            by_shard[shard_id]
+            if shard_id in by_shard
+            else _empty_result(shard_id, self.round_duration)
+            for shard_id in range(self.num_shards)
+        ]
 
     def finish_stats(self) -> List[ShardFinishStats]:
         """Streaming drain: per-shard statistics reduced inside the workers."""
-        return self._gather(("finish_stats",))
+        by_shard = self._gather(("finish_stats",))
+        return [
+            by_shard[shard_id]
+            if shard_id in by_shard
+            else _finish_stats(shard_id, _empty_result(shard_id, self.round_duration))
+            for shard_id in range(self.num_shards)
+        ]
+
+    def fault_stats(self) -> FaultStats:
+        """Recovery counters of this run (federation half of the record)."""
+        return FaultStats(
+            worker_restarts=self._stat_restarts,
+            checkpoints=self._stat_checkpoints,
+            replayed_commands=self._stat_replayed,
+            dead_shards=len(self._dead_shards),
+            rerouted_jobs=self._stat_rerouted,
+            lost_jobs=self._stat_lost,
+        )
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
         for worker_index, conn in enumerate(self._conns):
+            if conn is None or worker_index in self._dead_workers:
+                continue
             try:
                 conn.send(("close",))
             except (BrokenPipeError, OSError):
                 pass
         for proc in self._procs:
+            if proc is None:
+                continue
             proc.join(timeout=5.0)
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=5.0)
         for conn in self._conns:
-            conn.close()
+            if conn is not None:
+                conn.close()
 
 
 @dataclass
@@ -362,6 +886,8 @@ class FederationStreamResult:
     #: Parent-process peak RSS at the end of the run, in MiB (the streaming
     #: claim under test: independent of trace length).
     peak_rss_mib: float = 0.0
+    #: Recovery counters when the run was supervised; None otherwise.
+    fault_stats: Optional[FaultStats] = None
 
     @property
     def num_shards(self) -> int:
@@ -402,6 +928,9 @@ class FederationStreamResult:
             "routing_time_s": self.routing_time_s,
             "advance_time_s": self.advance_time_s,
             "peak_rss_mib": self.peak_rss_mib,
+            "fault_stats": (
+                self.fault_stats.as_dict() if self.fault_stats is not None else None
+            ),
             "shards": [
                 {
                     "shard_id": s.shard_id,
@@ -433,10 +962,12 @@ class ParallelFederationEngine:
     Takes the shard *recipe* (a picklable
     :class:`~repro.federation.engine.UniformShardFactory`) rather than built
     shards, because the shards are constructed inside the workers.  With
-    ``workers=1`` no processes are spawned at all: the engine builds the
-    shards in-process and delegates to the serial engine, which the parallel
-    path is bit-identical to by construction -- so ``workers`` is purely a
-    throughput knob.
+    ``workers=1`` and no supervision, no processes are spawned at all: the
+    engine builds the shards in-process and delegates to the serial engine,
+    which the parallel path is bit-identical to by construction -- so
+    ``workers`` is purely a throughput knob.  Supervision (``supervisor``) or
+    fault injection (``kill_plan``) force the worker-pool path even for a
+    single worker: there is nothing to supervise in-process.
     """
 
     def __init__(
@@ -448,6 +979,9 @@ class ParallelFederationEngine:
         tracked_job_ids: Optional[Sequence[int]] = None,
         workers: Optional[int] = None,
         mp_context: Optional[str] = None,
+        collect_timeout_s: Optional[float] = None,
+        supervisor: Optional[SupervisorConfig] = None,
+        kill_plan: Optional[WorkerKillPlan] = None,
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
@@ -460,10 +994,24 @@ class ParallelFederationEngine:
         if self.workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {self.workers}")
         self.mp_context = mp_context
+        self.collect_timeout_s = collect_timeout_s
+        self.supervisor = supervisor
+        self.kill_plan = kill_plan
         self._jobs = jobs
         self._tracked_job_ids = tracked_job_ids
 
     # ------------------------------------------------------------------
+
+    def _make_backend(self) -> WorkerPoolBackend:
+        return WorkerPoolBackend(
+            self.factory,
+            self.num_shards,
+            self.workers,
+            self.mp_context,
+            collect_timeout_s=self.collect_timeout_s,
+            supervisor=self.supervisor,
+            kill_plan=self.kill_plan,
+        )
 
     def run(self) -> FederationResult:
         """Route every gang, drain every shard, return the combined result.
@@ -480,7 +1028,7 @@ class ParallelFederationEngine:
             if self._tracked_job_ids is None
             else list(self._tracked_job_ids)
         )
-        if self.workers == 1:
+        if self.workers == 1 and self.supervisor is None and self.kill_plan is None:
             engine = FederationEngine(
                 shards=self.factory.build_all(self.num_shards),
                 router=self.router,
@@ -491,9 +1039,7 @@ class ParallelFederationEngine:
             result.workers = 1
             return result
         wall_start = time.perf_counter()
-        backend = WorkerPoolBackend(
-            self.factory, self.num_shards, self.workers, self.mp_context
-        )
+        backend = self._make_backend()
         try:
             stats = drive_federation(backend, self.router, arrivals)
             started = time.perf_counter()
@@ -511,6 +1057,7 @@ class ParallelFederationEngine:
             routing_time_s=stats.routing_time_s,
             advance_time_s=advance_time,
             workers=backend.workers,
+            fault_stats=backend.fault_stats(),
         )
 
     def run_stream(self) -> FederationStreamResult:
@@ -522,16 +1069,16 @@ class ParallelFederationEngine:
         finished shards to :class:`ShardFinishStats` before replying -- this
         is what makes 64-shard, 100k-job runs fit a bounded parent process.
         Requires ``workers >= 2`` (a streaming run that fits one process has
-        no reason not to use :meth:`run`).
+        no reason not to use :meth:`run`).  Under supervision the checkpoint
+        blobs add O(shard state) parent memory -- still independent of trace
+        length, since the command log truncates at every checkpoint.
         """
         if self.workers < 2:
             raise ConfigurationError(
                 "run_stream needs workers >= 2; use run() for in-process runs"
             )
         wall_start = time.perf_counter()
-        backend = WorkerPoolBackend(
-            self.factory, self.num_shards, self.workers, self.mp_context
-        )
+        backend = self._make_backend()
         try:
             stats = drive_federation(
                 backend, self.router, self._jobs, record_assignments=False
@@ -552,4 +1099,5 @@ class ParallelFederationEngine:
             advance_time_s=advance_time,
             workers=backend.workers,
             peak_rss_mib=_peak_rss_mib(),
+            fault_stats=backend.fault_stats(),
         )

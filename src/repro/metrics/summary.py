@@ -166,6 +166,68 @@ def scenario_summary(
 
 
 @dataclass(frozen=True)
+class FaultStats:
+    """Fault-injection and recovery counters of one chaos-exposed run.
+
+    One record covers both halves of the robustness layer
+    (``docs/robustness.md``): the control-plane RPC fault injector
+    (:class:`~repro.runtime.rpc.FaultPlan` -- drops, delays, duplicates,
+    lost replies, and the retries/dedups that absorb them) and the federation
+    shard supervisor (worker restarts, checkpoints, replayed commands, and
+    the graceful-degradation counters).  Runs without chaos report all
+    zeros; a gated chaos run asserts the relevant counters are *nonzero*,
+    so a silently disabled injector cannot masquerade as a passing gate.
+    """
+
+    # -- control-plane RPC fault injection (runtime layer) -------------
+    rpc_calls: int = 0
+    faults_injected: int = 0
+    drops: int = 0
+    delays: int = 0
+    duplicates: int = 0
+    lost_replies: int = 0
+    retries: int = 0
+    duplicates_suppressed: int = 0
+    #: Calls that failed even after every retry (aborts the run).
+    exhausted: int = 0
+    # -- federation shard supervision (worker recovery) -----------------
+    worker_restarts: int = 0
+    checkpoints: int = 0
+    replayed_commands: int = 0
+    dead_shards: int = 0
+    rerouted_jobs: int = 0
+    lost_jobs: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "rpc_calls": self.rpc_calls,
+            "faults_injected": self.faults_injected,
+            "drops": self.drops,
+            "delays": self.delays,
+            "duplicates": self.duplicates,
+            "lost_replies": self.lost_replies,
+            "retries": self.retries,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "exhausted": self.exhausted,
+            "worker_restarts": self.worker_restarts,
+            "checkpoints": self.checkpoints,
+            "replayed_commands": self.replayed_commands,
+            "dead_shards": self.dead_shards,
+            "rerouted_jobs": self.rerouted_jobs,
+            "lost_jobs": self.lost_jobs,
+        }
+
+    def any_recovery(self) -> bool:
+        """Whether any fault was actually absorbed (the chaos-gate predicate)."""
+        return (
+            self.retries > 0
+            or self.duplicates_suppressed > 0
+            or self.worker_restarts > 0
+            or self.rerouted_jobs > 0
+        )
+
+
+@dataclass(frozen=True)
 class FederationTiming:
     """Wall-time breakdown of one federation run.
 

@@ -66,6 +66,11 @@ class RunnablePriorityIndex(JobStateObserver):
         self._on_transition = on_transition
         self._on_idle_enter = on_idle_enter
         self._job_state: Optional[JobState] = None
+        #: ``bind_epoch`` of the bound registry at attach time; a mismatch
+        #: means the registry crossed a pickle boundary (which drops observer
+        #: registrations) and the index must re-attach even though the object
+        #: identity is unchanged (checkpoint/restart of a whole simulator).
+        self._bound_epoch: int = -1
         #: Sorted list of (key, job) for RUNNABLE/PREEMPTED jobs.
         self._idle: List[Tuple[PriorityKey, Job]] = []
         self._idle_keys: Dict[int, PriorityKey] = {}
@@ -81,12 +86,20 @@ class RunnablePriorityIndex(JobStateObserver):
         return self._job_state
 
     def bind(self, job_state: JobState) -> None:
-        """Attach to ``job_state``, rebuilding if it differs from the bound one."""
-        if self._job_state is job_state:
+        """Attach to ``job_state``, rebuilding if it differs from the bound one.
+
+        Rebinding also triggers when the registry's ``bind_epoch`` moved: the
+        same object crossed a pickle boundary (shard checkpoint/restart),
+        which silently dropped this index from its observer lists, so the
+        identity short-circuit alone would leave the index permanently stale.
+        """
+        epoch = getattr(job_state, "bind_epoch", 0)
+        if self._job_state is job_state and self._bound_epoch == epoch:
             return
         if self._job_state is not None:
             self._job_state.remove_observer(self)
         self._job_state = job_state
+        self._bound_epoch = epoch
         job_state.add_observer(self)
         self.rebuild()
 

@@ -9,9 +9,21 @@ components in-process, with an explicit message-passing layer standing in for
 gRPC, so the lease protocols (central vs optimistic renewal, two-phase
 revocation for distributed jobs) and the "only two modules change between
 simulation and deployment" property can be exercised and measured.
+
+The channel doubles as the control-plane chaos layer: arming it with a
+:class:`FaultPlan` injects seeded drop/delay/duplicate/lost-reply faults into
+every call, and a :class:`RetryPolicy` plus per-operation idempotency tokens
+make the lease protocol exactly-once under those faults (see
+``docs/robustness.md``).
 """
 
-from repro.runtime.rpc import InMemoryRpcChannel, RpcCostModel
+from repro.runtime.rpc import (
+    FaultPlan,
+    FaultSpec,
+    InMemoryRpcChannel,
+    RetryPolicy,
+    RpcCostModel,
+)
 from repro.runtime.worker_manager import WorkerManager
 from repro.runtime.client_library import BloxDataLoader, WorkerMetricsCollector
 from repro.runtime.lease import (
@@ -27,7 +39,10 @@ from repro.runtime.central_scheduler import (
 )
 
 __all__ = [
+    "FaultPlan",
+    "FaultSpec",
     "InMemoryRpcChannel",
+    "RetryPolicy",
     "RpcCostModel",
     "WorkerManager",
     "BloxDataLoader",

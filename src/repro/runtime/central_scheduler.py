@@ -48,8 +48,9 @@ from repro.runtime.lease import (
     OptimisticLeaseManager,
     _LeaseManagerBase,
 )
+from repro.metrics.summary import FaultStats
 from repro.runtime.metrics import WorkerMetricsAggregator
-from repro.runtime.rpc import InMemoryRpcChannel, RpcCostModel
+from repro.runtime.rpc import FaultPlan, InMemoryRpcChannel, RetryPolicy, RpcCostModel
 from repro.runtime.worker_manager import WorkerManager
 from repro.simulator.engine import SimulationResult, Simulator
 from repro.simulator.execution import ExecutionModel
@@ -170,11 +171,17 @@ class CentralScheduler:
         cluster_manager: Optional[ClusterManager] = None,
         fast_forward: bool = True,
         collect_worker_metrics: bool = True,
+        fault_plan: Optional[FaultPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if lease_protocol not in ("central", "optimistic"):
             raise ConfigurationError(f"unknown lease protocol {lease_protocol!r}")
         self.cluster_state = cluster_state
-        self.channel = InMemoryRpcChannel(rpc_cost_model)
+        # An armed fault plan turns every lease RPC into an attempt loop with
+        # retry/backoff and idempotency-token dedup; the schedule must stay
+        # bit-identical to a fault-free run (only latencies and fault counters
+        # differ), which the chaos bench gates.
+        self.channel = InMemoryRpcChannel(rpc_cost_model, fault_plan, retry_policy)
         initial_workers = [
             WorkerManager(node_id=node_id, channel=self.channel)
             for node_id in sorted(cluster_state.nodes)
@@ -235,3 +242,11 @@ class CentralScheduler:
     def lease_latencies_ms(self) -> List[float]:
         """Per-preemption lease-round latencies observed during the run."""
         return list(self.preemptor.lease_round_latencies_ms)
+
+    def fault_stats(self) -> FaultStats:
+        """Fault-injection and recovery counters from the RPC channel."""
+        return self.channel.fault_stats()
+
+    def leaked_leases(self) -> int:
+        """Lease-protocol state still held; must be zero after a drained run."""
+        return self.lease_manager.leaked_leases()

@@ -80,11 +80,21 @@ class BloxDataLoader:
         self.peers = [p for p in peers if p is not self]
 
     def _propagate_exit(self, exit_iteration: int) -> None:
-        """Phase two: tell every peer the agreed exit iteration."""
-        self.exit_iteration = exit_iteration
+        """Phase two: tell every peer the agreed exit iteration.
+
+        The boundary only ever moves *forward*: a stale propagation (e.g. a
+        duplicated revocation replayed by the fault-injecting channel) must
+        never lower an exit iteration a peer may already have committed to,
+        or workers would checkpoint at different boundaries.
+        """
+        if self.exit_iteration is None or exit_iteration > self.exit_iteration:
+            self.exit_iteration = exit_iteration
         for peer in self.peers:
-            peer.exit_iteration = exit_iteration
-            peer.worker.exit_iterations[peer.job_id] = exit_iteration
+            if peer.exit_iteration is None or exit_iteration > peer.exit_iteration:
+                peer.exit_iteration = exit_iteration
+            recorded = peer.worker.exit_iterations.get(peer.job_id)
+            if recorded is None or exit_iteration > recorded:
+                peer.worker.exit_iterations[peer.job_id] = exit_iteration
 
     def _choose_exit_iteration(self) -> int:
         """Phase one: fix a boundary every worker can still reach.

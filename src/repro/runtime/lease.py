@@ -30,6 +30,15 @@ every node that joined the cluster and deregisters managers of nodes that
 left, so scenario timelines (scale-out, scale-in, upgrades) never hit an
 unknown endpoint.  Revocations tolerate workers that vanished mid-flight
 (their node is gone; the lease dies with it).
+
+Fault tolerance: every lease RPC names its *logical operation* with an
+idempotency token (a per-manager sequence number keeps tokens unique across
+re-grants of the same job), so under an armed
+:class:`~repro.runtime.rpc.FaultPlan` the channel's retry/dedup machinery
+makes grant, renew/revoke, the two-phase exit fan-out and completion
+exactly-once -- a chaos run's schedule stays bit-identical to a fault-free
+run, which ``python -m repro.bench --chaos`` gates along with
+:meth:`_LeaseManagerBase.leaked_leases` staying zero.
 """
 
 from __future__ import annotations
@@ -71,6 +80,14 @@ class _LeaseManagerBase:
         self._holders: Dict[int, Set[int]] = {}
         #: ``("register"|"deregister", node_id)`` per membership change.
         self.membership_log: List[Tuple[str, int]] = []
+        #: Monotonic operation counter: makes idempotency tokens unique
+        #: across repeats of the same logical pair (a job re-granted after
+        #: preemption must not dedup against its previous grant).
+        self._op_seq = 0
+
+    def _token(self, op: str, job_id: int) -> str:
+        self._op_seq += 1
+        return f"{op}:{job_id}:{self._op_seq}"
 
     # -- scheduler-side handlers ----------------------------------------
 
@@ -121,6 +138,7 @@ class _LeaseManagerBase:
                 "launch",
                 {"job_id": job_id},
                 caller=SCHEDULER_ENDPOINT,
+                idempotency_token=self._token("launch", job_id),
             )
         self.assignments[job_id] = LeaseAssignment(job_id=job_id, node_ids=node_ids)
         self._active_leases[job_id] = True
@@ -147,12 +165,26 @@ class _LeaseManagerBase:
                 "job_finished",
                 {"job_id": job_id},
                 caller=SCHEDULER_ENDPOINT,
+                idempotency_token=self._token("finish", job_id),
             )
         self.release(job_id)
 
     def critical_path_ms(self) -> float:
         """Latency of the round: the busiest endpoint bounds the round's lease time."""
         return self.channel.critical_path_ms()
+
+    def leaked_leases(self) -> int:
+        """Lease-protocol state that should be empty after a drained run.
+
+        Counts scheduler-side active leases and assignments plus every
+        worker-local lease/exit-iteration entry.  The chaos bench asserts
+        this is zero after a run under injected RPC faults: a lost or
+        re-executed message that leaked protocol state shows up here.
+        """
+        leaked = len(self._active_leases) + len(self.assignments) + len(self._holders)
+        for worker in self.workers.values():
+            leaked += len(worker.leases) + len(worker.exit_iterations)
+        return leaked
 
 
 class CentralLeaseManager(_LeaseManagerBase):
@@ -181,6 +213,7 @@ class CentralLeaseManager(_LeaseManagerBase):
                     "check_lease",
                     {"job_id": assignment.job_id},
                     caller=worker.endpoint_name,
+                    idempotency_token=self._token("check", assignment.job_id),
                 )
                 method = "renew_lease" if still_valid else "revoke_lease"
                 self.channel.call(
@@ -188,6 +221,7 @@ class CentralLeaseManager(_LeaseManagerBase):
                     method,
                     {"job_id": assignment.job_id},
                     caller=SCHEDULER_ENDPOINT,
+                    idempotency_token=self._token(method, assignment.job_id),
                 )
         for job_id in revoked:
             self.release(job_id)
@@ -223,6 +257,7 @@ class OptimisticLeaseManager(_LeaseManagerBase):
                         "peers": [self.workers[p].endpoint_name for p in peers],
                     },
                     caller=SCHEDULER_ENDPOINT,
+                    idempotency_token=self._token("revoke", job_id),
                 )
             self.release(job_id)
         return self.critical_path_ms()

@@ -69,7 +69,11 @@ class WorkerManager:
         scheduler's decision and the revoke's arrival, or a second revoke may
         arrive for a lease already revoked -- both are benign no-ops, not
         errors: the revocation's goal (the job no longer runs here) already
-        holds.  Returns whether the revoke changed anything.
+        holds.  The stored exit iteration only ever moves *forward*
+        (monotonic max): a duplicated or re-ordered revoke -- injected RPC
+        faults can deliver phase-two messages more than once -- must never
+        drag the boundary below an iteration a peer may already have passed.
+        Returns whether the revoke changed anything.
         """
         job_id = payload["job_id"]
         if job_id not in self.leases:
@@ -84,17 +88,22 @@ class WorkerManager:
         if exit_iteration is None:
             # Phase one lands here: this worker fixes the concrete boundary.
             exit_iteration = self.job_iterations.get(job_id, 0) + 1
-        if not already_revoked or job_id not in self.exit_iterations:
+        current = self.exit_iterations.get(job_id)
+        if current is None or int(exit_iteration) > current:
             self.exit_iterations[job_id] = int(exit_iteration)
         if self.channel is not None:
             # Phase two: propagate the *fixed* exit iteration to the peers the
             # scheduler named.  Nested calls bill this worker, not the
-            # scheduler (caller-aware channel accounting).
+            # scheduler (caller-aware channel accounting).  The token makes
+            # each peer's fan-out exactly-once per agreed boundary: a retried
+            # or duplicated propagation deduplicates instead of re-running.
+            agreed = self.exit_iterations[job_id]
             for peer_endpoint in payload.get("peers", ()):
                 self.channel.call(
                     peer_endpoint,
                     "revoke_lease",
-                    {"job_id": job_id, "exit_iteration": self.exit_iterations[job_id]},
+                    {"job_id": job_id, "exit_iteration": agreed},
+                    idempotency_token=f"exit:{job_id}:{agreed}:{peer_endpoint}",
                 )
         return not already_revoked
 

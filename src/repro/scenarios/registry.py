@@ -189,6 +189,35 @@ def _bernoulli_churn(smoke: bool) -> ScenarioSpec:
     )
 
 
+def _chaos(smoke: bool) -> ScenarioSpec:
+    """Data-plane churn designed to pair with control-plane fault injection.
+
+    The chaos bench (``python -m repro.bench --chaos``) runs this scenario
+    through the deployment path with an armed
+    :class:`~repro.runtime.rpc.FaultPlan`, so lease revocations race node
+    failures and spot reclamations while the RPC layer is dropping and
+    duplicating messages -- the harshest setting the exactly-once lease
+    protocol must stay bit-identical under (see ``docs/robustness.md``).
+    """
+    first = 1 * HOUR if smoke else 3 * HOUR
+    return ScenarioSpec(
+        name="chaos",
+        cluster=_cluster(smoke),
+        workload=_workload(smoke),
+        timeline=(
+            FailNodes(at=first, fraction=0.25, recover_after=1.5 * HOUR),
+            SpotWave(
+                at=first + HOUR,
+                fraction=0.2,
+                outage=HOUR,
+                period=2 * HOUR if smoke else 4 * HOUR,
+                repeat=2,
+            ),
+        ),
+        description="Failure burst plus spot waves; paired with RPC fault injection.",
+    )
+
+
 SCENARIOS: Dict[str, Callable[[bool], ScenarioSpec]] = {
     "steady": _steady,
     "diurnal-spike": _diurnal_spike,
@@ -199,6 +228,7 @@ SCENARIOS: Dict[str, Callable[[bool], ScenarioSpec]] = {
     "scale-cycle": _scale_cycle,
     "maintenance-window": _maintenance_window,
     "bernoulli-churn": _bernoulli_churn,
+    "chaos": _chaos,
 }
 
 #: The churn-heavy subset CI exercises (2 policies x 2 scenarios).

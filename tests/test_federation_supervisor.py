@@ -1,0 +1,294 @@
+"""Supervised federation: checkpoint/restart recovery, degradation, taxonomy.
+
+The contract under test is the robustness tentpole (``docs/robustness.md``):
+a SIGKILLed, hung, or silent shard worker is detected, respawned with
+backoff, and replayed from its last checkpoint -- and the recovered run is
+**bit-identical** to a fault-free one.  Degradation (restarts exhausted)
+must conserve jobs: every job either finishes on a surviving shard or is
+counted lost; none vanish silently.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError, SimulationError
+from repro.federation import (
+    FatalWorkerError,
+    FederationEngine,
+    FederationWorkerError,
+    ParallelFederationEngine,
+    RetryableWorkerError,
+    SupervisorConfig,
+    UniformShardFactory,
+    WorkerKillPlan,
+)
+from repro.federation.parallel import WorkerPoolBackend
+from repro.federation.router import make_router
+from repro.policies.placement.consolidated import ConsolidatedPlacement
+from repro.policies.scheduling import FifoScheduling
+from repro.workloads.philly import generate_philly_trace
+
+ROUND = 300.0
+
+
+def small_trace(num_jobs=40, seed=7, jobs_per_hour=6.0):
+    return generate_philly_trace(
+        num_jobs=num_jobs, jobs_per_hour=jobs_per_hour, seed=seed
+    )
+
+
+def bench_factory(nodes_per_shard=4):
+    return UniformShardFactory(
+        nodes_per_shard=nodes_per_shard,
+        scheduling_factory=FifoScheduling,
+        placement_factory=ConsolidatedPlacement,
+        round_duration=ROUND,
+    )
+
+
+def run_serial(trace, num_shards=2):
+    return FederationEngine(
+        bench_factory().build_all(num_shards),
+        make_router("queue-delay"),
+        trace.fresh_jobs(),
+        tracked_job_ids=trace.tracked_ids(),
+    ).run()
+
+
+def run_supervised(trace, num_shards=2, workers=2, **kwargs):
+    return ParallelFederationEngine(
+        factory=bench_factory(),
+        num_shards=num_shards,
+        router=make_router("queue-delay"),
+        jobs=trace.fresh_jobs(),
+        tracked_job_ids=trace.tracked_ids(),
+        workers=workers,
+        **kwargs,
+    ).run()
+
+
+def supervisor(**overrides):
+    config = dict(checkpoint_interval=3, backoff_base_s=0.01, backoff_max_s=0.05)
+    config.update(overrides)
+    return SupervisorConfig(**config)
+
+
+def completions(result):
+    return {j.job_id: j.completion_time for j in result.jobs}
+
+
+def assert_bit_parity(serial, recovered):
+    assert serial.assignments == recovered.assignments
+    for serial_shard, shard in zip(serial.shard_results, recovered.shard_results):
+        assert completions(serial_shard) == completions(shard)
+        assert serial_shard.round_log == shard.round_log
+        assert serial_shard.rounds == shard.rounds
+
+
+# ----------------------------------------------------------------------
+# Kill-one-worker recovery parity (the tentpole gate)
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("mp_context", ["fork", "spawn"])
+@pytest.mark.parametrize("when", ["before", "after"])
+def test_sigkill_mid_advance_recovers_bit_identical(mp_context, when):
+    trace = small_trace()
+    serial = run_serial(trace)
+    recovered = run_supervised(
+        trace,
+        mp_context=mp_context,
+        supervisor=supervisor(),
+        kill_plan=WorkerKillPlan(kills=((2, 0),), when=when),
+    )
+    assert_bit_parity(serial, recovered)
+    stats = recovered.fault_stats
+    assert stats.worker_restarts == 1
+    assert stats.checkpoints >= 1
+
+
+def test_kill_before_first_checkpoint_replays_from_genesis():
+    trace = small_trace()
+    serial = run_serial(trace)
+    recovered = run_supervised(
+        trace,
+        supervisor=supervisor(checkpoint_interval=1000),
+        kill_plan=WorkerKillPlan(kills=((4, 1),), when="before"),
+    )
+    assert_bit_parity(serial, recovered)
+    stats = recovered.fault_stats
+    assert stats.worker_restarts == 1
+    assert stats.checkpoints == 0
+    assert stats.replayed_commands >= 4
+
+
+def test_two_kills_same_worker_recover():
+    trace = small_trace(num_jobs=30)
+    serial = run_serial(trace)
+    recovered = run_supervised(
+        trace,
+        supervisor=supervisor(),
+        kill_plan=WorkerKillPlan(kills=((1, 0), (5, 0)), when="before"),
+    )
+    assert_bit_parity(serial, recovered)
+    assert recovered.fault_stats.worker_restarts == 2
+
+
+# ----------------------------------------------------------------------
+# Hung and silent workers (collect timeout, heartbeat timeout)
+# ----------------------------------------------------------------------
+
+
+def _first_boundary(trace):
+    return trace.fresh_jobs()[0].arrival_time + ROUND
+
+
+def test_hung_worker_unsupervised_raises_with_context():
+    backend = WorkerPoolBackend(
+        bench_factory(), num_shards=2, workers=2, collect_timeout_s=0.5
+    )
+    try:
+        backend._conns[0].send(("hang", 30.0))
+        with pytest.raises(RetryableWorkerError, match="collect timeout") as excinfo:
+            backend.advance(ROUND)
+        message = str(excinfo.value)
+        assert "shards [0]" in message
+        assert "pid" in message
+        assert "phase" in message
+    finally:
+        backend.close()
+
+
+def test_hung_worker_supervised_recovers():
+    backend = WorkerPoolBackend(
+        bench_factory(),
+        num_shards=2,
+        workers=2,
+        collect_timeout_s=0.5,
+        supervisor=supervisor(),
+    )
+    try:
+        backend._conns[0].send(("hang", 30.0))
+        summaries = backend.advance(ROUND)
+        assert len(summaries) == 2
+        assert backend.fault_stats().worker_restarts == 1
+    finally:
+        backend.close()
+
+
+def test_silent_worker_detected_by_heartbeat_timeout():
+    backend = WorkerPoolBackend(
+        bench_factory(),
+        num_shards=2,
+        workers=2,
+        supervisor=supervisor(
+            heartbeat_interval_s=0.05, heartbeat_timeout_s=0.5
+        ),
+    )
+    try:
+        os.kill(backend._procs[0].pid, signal.SIGSTOP)
+        summaries = backend.advance(ROUND)
+        assert len(summaries) == 2
+        assert backend.fault_stats().worker_restarts == 1
+    finally:
+        backend.close()
+
+
+def test_unsupervised_kill_keeps_historical_error_shape():
+    backend = WorkerPoolBackend(bench_factory(), num_shards=2, workers=2)
+    try:
+        os.kill(backend._procs[1].pid, signal.SIGKILL)
+        with pytest.raises(SimulationError, match="died|closed its pipe"):
+            backend.advance(ROUND)
+    finally:
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# In-flight submissions (the fire-and-forget fix)
+# ----------------------------------------------------------------------
+
+
+def test_submit_to_freshly_killed_worker_is_not_lost():
+    trace = small_trace(num_jobs=4)
+    jobs = trace.fresh_jobs()
+    first = jobs[0]
+    backend = WorkerPoolBackend(
+        bench_factory(),
+        num_shards=2,
+        workers=2,
+        supervisor=supervisor(checkpoint_interval=1000),
+    )
+    try:
+        backend.advance(first.arrival_time)
+        backend.submit(0, first)
+        os.kill(backend._procs[0].pid, signal.SIGKILL)
+        # Recovery replays the submit from the command log; the job must run
+        # to completion on the respawned shard as if nothing happened.
+        backend.advance(first.arrival_time + first.duration + 5 * ROUND)
+        results = backend.finish()
+        assert first.job_id in {j.job_id for j in results[0].jobs}
+        assert backend.fault_stats().worker_restarts == 1
+    finally:
+        backend.close()
+
+
+# ----------------------------------------------------------------------
+# Degradation: restarts exhausted, jobs conserved
+# ----------------------------------------------------------------------
+
+
+def test_degrade_marks_shard_dead_and_conserves_jobs():
+    trace = small_trace()
+    num_jobs = len(trace.fresh_jobs())
+    degraded = run_supervised(
+        trace,
+        supervisor=supervisor(max_restarts=0, on_unrecoverable="degrade"),
+        kill_plan=WorkerKillPlan(kills=((4, 1),), when="before"),
+    )
+    stats = degraded.fault_stats
+    assert stats.dead_shards == 1
+    finished = sum(len(shard.jobs) for shard in degraded.shard_results)
+    assert finished + stats.lost_jobs == num_jobs
+    # Routing accounting stays conserved too: every job is attributed to
+    # exactly one shard (re-routes move the attribution to the survivor).
+    assert sum(degraded.jobs_per_shard()) == num_jobs
+
+
+def test_exhausted_restarts_raise_fatal_by_default():
+    trace = small_trace(num_jobs=20)
+    with pytest.raises(FatalWorkerError, match="unrecoverable"):
+        run_supervised(
+            trace,
+            supervisor=supervisor(max_restarts=0),
+            kill_plan=WorkerKillPlan(kills=((2, 0),), when="before"),
+        )
+
+
+# ----------------------------------------------------------------------
+# Taxonomy and configuration validation
+# ----------------------------------------------------------------------
+
+
+def test_error_taxonomy_subclasses_simulation_error():
+    assert issubclass(FederationWorkerError, SimulationError)
+    assert issubclass(RetryableWorkerError, FederationWorkerError)
+    assert issubclass(FatalWorkerError, FederationWorkerError)
+
+
+def test_supervisor_config_validation():
+    with pytest.raises(ConfigurationError):
+        SupervisorConfig(on_unrecoverable="explode")
+    with pytest.raises(ConfigurationError):
+        SupervisorConfig(max_restarts=-1)
+    with pytest.raises(ConfigurationError):
+        WorkerKillPlan(kills=((0, 0),), when="sometime")
+
+
+def test_collect_timeout_validation():
+    with pytest.raises(ConfigurationError):
+        WorkerPoolBackend(bench_factory(), num_shards=2, workers=2, collect_timeout_s=0.0)
