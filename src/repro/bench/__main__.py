@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.bench.chaos_bench import run_chaos_bench
 from repro.bench.core_bench import run_core_bench
@@ -139,9 +140,12 @@ def main(argv=None) -> int:
             smoke=args.smoke,
             federation_out="BENCH_federation.json" if write else None,
             runtime_out="BENCH_runtime.json" if write else None,
+            started_at=time.time(),
         )
     elif args.runtime:
-        report = run_runtime_bench(smoke=args.smoke, out_path=out_path)
+        report = run_runtime_bench(
+            smoke=args.smoke, out_path=out_path, started_at=time.time()
+        )
     elif args.federation:
         report = run_federation_bench(
             smoke=args.smoke,
@@ -153,10 +157,14 @@ def main(argv=None) -> int:
             workers=args.workers,
             routers=args.routers.split(",") if args.routers else None,
             stream_jobs=args.stream,
+            started_at=time.time(),
         )
     else:
         report = run_core_bench(
-            smoke=args.smoke, out_path=out_path, policies=not args.no_policies
+            smoke=args.smoke,
+            out_path=out_path,
+            policies=not args.no_policies,
+            started_at=time.time(),
         )
     json.dump(report, sys.stdout, indent=2)
     print()
@@ -213,6 +221,16 @@ def main(argv=None) -> int:
             failed.append("stream demo lost jobs")
         if failed:
             print(f"federation bench FAILED: {', '.join(failed)}", file=sys.stderr)
+            return 1
+    if not (args.chaos or args.runtime or args.federation):
+        telemetry = report["telemetry"]
+        if telemetry["gated"] and not telemetry["overhead_ok"]:
+            print(
+                "core bench FAILED: telemetry recording overhead "
+                f"{telemetry['overhead_fraction']:+.2%} exceeds the "
+                f"{telemetry['overhead_gate']:.0%} gate",
+                file=sys.stderr,
+            )
             return 1
     return 0
 

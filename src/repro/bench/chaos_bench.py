@@ -296,10 +296,18 @@ def run_chaos_bench(
     federation_out: Optional[str] = "BENCH_federation.json",
     runtime_out: Optional[str] = "BENCH_runtime.json",
     seed: int = SCENARIO_SEED,
+    started_at: Optional[float] = None,
 ) -> Dict[str, object]:
     """Run both chaos legs and merge their sections into the bench reports."""
+    from repro.telemetry.events import run_metadata
+
     federation = run_federation_chaos(smoke=smoke)
     runtime = run_runtime_chaos(smoke=smoke, seed=seed)
+    metadata = run_metadata(
+        seed, {"benchmark": "chaos", "smoke": smoke}, started_at
+    )
+    federation["metadata"] = metadata
+    runtime["metadata"] = metadata
     _merge_section(federation_out, federation)
     _merge_section(runtime_out, runtime)
     return {
@@ -307,5 +315,6 @@ def run_chaos_bench(
         "smoke": smoke,
         "federation": federation,
         "runtime": runtime,
+        "metadata": metadata,
         "ok": bool(federation["ok"]) and bool(runtime["ok"]),
     }

@@ -16,8 +16,11 @@ not a change in scheduling behaviour.  Results are written to
 
 from __future__ import annotations
 
+import gc
 import json
+import os
 import platform
+import tempfile
 import time
 from typing import Dict, Optional
 
@@ -26,26 +29,105 @@ from repro.bench.legacy import LegacySimulator
 from repro.policies.placement.consolidated import ConsolidatedPlacement
 from repro.policies.scheduling.fifo import FifoScheduling
 from repro.simulator.engine import SimulationResult, Simulator
+from repro.telemetry.events import run_metadata
+from repro.telemetry.recorder import TraceRecorder
+from repro.telemetry.sinks import JsonlSink
+
+#: Recording a run may cost at most this fraction of the untraced wall time
+#: (gated on the full configuration; smoke timings are noise-dominated).
+TELEMETRY_OVERHEAD_GATE = 0.05
+#: Timing repetitions per leg for the overhead measurement (best-of).
+_OVERHEAD_REPS = 5
 
 
-def _run_case(indexed: bool, smoke: bool) -> Dict[str, object]:
+def _run_case(
+    indexed: bool, smoke: bool, trace_path: Optional[str] = None
+) -> Dict[str, object]:
     trace = workload.bench_trace(smoke=smoke)
     simulator_cls = Simulator if indexed else LegacySimulator
+    sink = None
+    extra: Dict[str, object] = {}
+    if trace_path is not None:
+        sink = JsonlSink(trace_path)
+        extra["recorder"] = TraceRecorder(sink, source="sim")
     simulator = simulator_cls(
         cluster_state=workload.bench_cluster(smoke=smoke),
         jobs=trace.fresh_jobs(),
         scheduling_policy=FifoScheduling(),
         placement_policy=ConsolidatedPlacement(),
         round_duration=workload.ROUND_DURATION,
+        **extra,
     )
     start = time.perf_counter()
+    cpu_start = time.process_time()
     result = simulator.run()
+    cpu_time = time.process_time() - cpu_start
     wall_time = time.perf_counter() - start
+    if sink is not None:
+        sink.close()
     return {
         "result": result,
         "wall_time_s": wall_time,
+        "cpu_time_s": cpu_time,
         "rounds": result.rounds,
         "rounds_per_sec": result.rounds / wall_time if wall_time > 0 else float("inf"),
+    }
+
+
+def _telemetry_overhead(smoke: bool, untraced: Dict[str, object]) -> Dict[str, object]:
+    """Measure recording cost: traced vs untraced indexed legs, best-of-N.
+
+    Both legs repeat ``_OVERHEAD_REPS`` times interleaved and the ratio is
+    taken between the per-leg minima, which is what makes a ~5% gate
+    meaningful on a sub-second run.  The gate binds on **process CPU time**:
+    recording cost is pure CPU (encode + write to page cache), while wall
+    time also absorbs scheduler preemption from whatever else the machine is
+    running, which a bench run cannot control (wall numbers are still
+    reported).  The traced run must also keep schedule parity with the
+    untraced one -- recording that changed the schedule would be a
+    correctness bug, not an overhead problem.
+    """
+    fd, trace_path = tempfile.mkstemp(suffix=".jsonl", prefix="bench-trace-")
+    os.close(fd)
+    # Freeze the heap the earlier bench legs accumulated: without this, the
+    # traced leg's extra allocations trigger collections that scan the whole
+    # bench heap, billing unrelated GC work to the recording overhead (the
+    # effect is context-dependent, which is worse than being slow).
+    gc.collect()
+    gc.freeze()
+    try:
+        untraced_runs = [untraced]
+        traced_runs = []
+        for _ in range(_OVERHEAD_REPS):
+            traced_runs.append(_run_case(indexed=True, smoke=smoke, trace_path=trace_path))
+            untraced_runs.append(_run_case(indexed=True, smoke=smoke))
+            gc.collect()
+        events = sum(1 for _ in open(trace_path)) - 1  # minus header line
+    finally:
+        gc.unfreeze()
+        os.remove(trace_path)
+    parity = _parity(untraced["result"], traced_runs[-1]["result"])
+    traced_cpu = min(run["cpu_time_s"] for run in traced_runs)
+    untraced_cpu = min(run["cpu_time_s"] for run in untraced_runs)
+    overhead = traced_cpu / untraced_cpu - 1 if untraced_cpu > 0 else 0.0
+    return {
+        "events": events,
+        "traced_cpu_time_s": round(traced_cpu, 4),
+        "untraced_cpu_time_s": round(untraced_cpu, 4),
+        "traced_wall_time_s": round(min(r["wall_time_s"] for r in traced_runs), 4),
+        "untraced_wall_time_s": round(min(r["wall_time_s"] for r in untraced_runs), 4),
+        "overhead_fraction": round(overhead, 4),
+        "overhead_gate": TELEMETRY_OVERHEAD_GATE,
+        # The gate binds on the full configuration only: the smoke run
+        # finishes in tens of milliseconds, where timer noise dwarfs any
+        # real recording cost.
+        "gated": not smoke,
+        "overhead_ok": smoke or overhead <= TELEMETRY_OVERHEAD_GATE,
+        "schedule_parity": (
+            parity["identical_completion_times"]
+            and parity["identical_round_logs"]
+            and parity["identical_round_count"]
+        ),
     }
 
 
@@ -69,13 +151,17 @@ def run_core_bench(
     smoke: bool = False,
     out_path: Optional[str] = "BENCH_core.json",
     policies: bool = True,
+    started_at: Optional[float] = None,
 ) -> Dict[str, object]:
     """Run baseline + indexed benchmark, verify parity, write the JSON report.
 
     With ``policies=True`` (the default) the report also carries the
     policy x placement matrix of :mod:`repro.bench.policy_bench`, comparing
     each incremental scheduling policy against its pre-refactor
-    implementation.
+    implementation, plus the telemetry recording-overhead leg (traced vs
+    untraced indexed run; gated at ``TELEMETRY_OVERHEAD_GATE`` on the full
+    configuration).  ``started_at`` is the caller's wall-clock stamp for the
+    report metadata (the CLI passes ``time.time()``).
     """
     from repro.bench.policy_bench import run_policy_bench
 
@@ -120,6 +206,9 @@ def run_core_bench(
         else float("inf"),
         "parity": parity,
     }
+    report["metadata"] = run_metadata(
+        workload.BENCH_SEED, report["config"], started_at
+    )
 
     schedule_parity = (
         parity["identical_completion_times"]
@@ -127,6 +216,8 @@ def run_core_bench(
         and parity["identical_round_count"]
     )
     report["schedule_parity"] = schedule_parity
+
+    report["telemetry"] = _telemetry_overhead(smoke, indexed)
 
     if policies:
         report["policies"] = run_policy_bench(smoke=smoke)
@@ -139,6 +230,10 @@ def run_core_bench(
     if not schedule_parity:
         raise AssertionError(
             f"baseline and indexed runs diverged: {parity}"
+        )
+    if not report["telemetry"]["schedule_parity"]:
+        raise AssertionError(
+            "recording changed the schedule: traced and untraced runs diverged"
         )
     if policies and not report["policies"]["all_schedule_parity"]:
         raise AssertionError(

@@ -55,6 +55,7 @@ from repro.federation.parallel import ParallelFederationEngine, default_worker_c
 from repro.federation.router import make_router, router_names
 from repro.policies.placement.consolidated import ConsolidatedPlacement
 from repro.policies.scheduling.fifo import FifoScheduling
+from repro.telemetry.events import run_metadata
 from repro.workloads.philly import PhillyTraceGenerator
 
 #: Shard counts of the matrix.  Every count must divide the node total and
@@ -364,12 +365,14 @@ def run_federation_bench(
     workers: Optional[int] = None,
     routers: Optional[Sequence[str]] = None,
     stream_jobs: Optional[int] = None,
+    started_at: Optional[float] = None,
 ) -> Dict[str, object]:
     """Run the router x shard-count matrix; returns the JSON report payload.
 
     ``shard_counts``, ``workers`` and ``routers`` override the hard-coded
     matrix so the scaling cells are reproducible at other machine sizes;
     ``stream_jobs`` appends the 64-shard streaming demonstration.
+    ``started_at`` is the caller's wall-clock stamp for the report metadata.
     """
     total_nodes = SMOKE_TOTAL_NODES if smoke else FULL_TOTAL_NODES
     if shard_counts is None:
@@ -497,6 +500,9 @@ def run_federation_bench(
         "scaling": scaling,
         "cells": cell_rows,
     }
+    report["metadata"] = run_metadata(
+        workload.BENCH_SEED, report["config"], started_at
+    )
     if stream_jobs is not None:
         report["stream_demo"] = run_stream_demo(stream_jobs)
 

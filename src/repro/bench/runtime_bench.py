@@ -38,6 +38,7 @@ from repro.runtime.central_scheduler import CentralScheduler
 from repro.scenarios.registry import SMOKE_SCENARIOS, get_scenario, scenario_names
 from repro.scenarios.runner import SCENARIO_SEED
 from repro.simulator.engine import SimulationResult
+from repro.telemetry.events import run_metadata
 from repro.simulator.overheads import OverheadModel
 
 #: Cluster sizes (nodes of 4 GPUs) of the CI lease sweep; the full bench
@@ -129,11 +130,13 @@ def run_runtime_bench(
     out_path: Optional[str] = "BENCH_runtime.json",
     seed: int = SCENARIO_SEED,
     scenarios: Optional[Sequence[str]] = None,
+    started_at: Optional[float] = None,
 ) -> Dict[str, object]:
     """Run the runtime benchmark; returns the ``BENCH_runtime.json`` payload.
 
     ``smoke`` shrinks every scenario to its CI variant and restricts the run
-    to the churn-heavy smoke subset plus a small lease sweep.
+    to the churn-heavy smoke subset plus a small lease sweep.  ``started_at``
+    is the caller's wall-clock stamp for the report metadata.
     """
     if scenarios is None:
         scenarios = SMOKE_SCENARIOS if smoke else scenario_names()
@@ -220,6 +223,11 @@ def run_runtime_bench(
             "claims": lease_claims,
         },
     }
+    report["metadata"] = run_metadata(
+        seed,
+        {"benchmark": "runtime", "smoke": smoke, "scenarios": sorted(cells)},
+        started_at,
+    )
     if out_path:
         with open(out_path, "w") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)

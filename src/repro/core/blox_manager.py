@@ -12,7 +12,7 @@ scheduling loop in Figure 2 of the paper (``update_cluster``,
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterable, List, Optional
+from typing import Deque, Iterable, List, Optional, Tuple
 
 from repro.core.abstractions import ClusterManager, PlacementDecision
 from repro.core.cluster_state import ClusterState
@@ -124,16 +124,19 @@ class BloxManager:
         decision: PlacementDecision,
         cluster_state: ClusterState,
         job_state: JobState,
-    ) -> None:
+    ) -> List[Tuple[int, List[int]]]:
         """Apply a placement decision: suspend first, then launch.
 
         Jobs that keep exactly the GPUs they already hold are treated as lease
-        renewals and pay no overhead.
+        renewals and pay no overhead.  Returns the launches actually applied
+        (renewals excluded), so the engine can trace real decisions without a
+        second lease-renewal scan over the launch map.
         """
         for job_id in decision.to_suspend:
             job = job_state.get(job_id)
             self.preemptor.preempt(job, cluster_state, self.current_time)
 
+        launched: List[Tuple[int, List[int]]] = []
         for job_id in sorted(decision.to_launch):
             gpu_ids = decision.to_launch[job_id]
             job = job_state.get(job_id)
@@ -145,6 +148,8 @@ class BloxManager:
                 # Placement changed without an explicit suspend: treat as a move.
                 self.preemptor.preempt(job, cluster_state, self.current_time)
             self.launcher.launch(job, gpu_ids, cluster_state, self.current_time)
+            launched.append((job_id, gpu_ids))
+        return launched
 
     def advance_time(self) -> None:
         """Move the simulated clock forward by one round."""

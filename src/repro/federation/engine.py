@@ -41,6 +41,7 @@ serial == parallel for the worker-pool cells.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -60,6 +61,14 @@ from repro.metrics.summary import (
     jct_summary,
 )
 from repro.simulator.engine import SimulationResult
+from repro.telemetry.events import (
+    EVENT_FEDERATION,
+    EVENT_ROUTE,
+    EVENT_TIMING,
+    TraceHeader,
+)
+from repro.telemetry.recorder import DEFAULT_FEDERATION_INTERVAL, TraceRecorder
+from repro.telemetry.sinks import JsonlSink
 
 __all__ = [
     "FederationEngine",
@@ -254,6 +263,7 @@ def drive_federation(
     router: FederationRouter,
     arrivals: Iterable[Job],
     record_assignments: bool = True,
+    recorder: Optional[TraceRecorder] = None,
 ) -> DriveStats:
     """Route a sorted arrival stream over a backend's shards.
 
@@ -320,7 +330,34 @@ def drive_federation(
         jobs_per_shard[choice] += 1
         if assignments is not None:
             assignments[job.job_id] = choice
+        if recorder is not None:
+            recorder.emit(
+                EVENT_ROUTE,
+                job.arrival_time,
+                {
+                    "job_id": job.job_id,
+                    "shard": choice,
+                    "num_gpus": job.num_gpus,
+                },
+            )
 
+    def snapshot(now: float) -> None:
+        # Deterministic per-shard state digest (no wall-clock fields):
+        # queue depths and utilisation come from the same summaries the
+        # router reads, so serial and parallel runs snapshot identically.
+        recorder.emit(
+            EVENT_FEDERATION,
+            now,
+            {
+                "jobs_per_shard": list(jobs_per_shard),
+                "queued": [s.queued_jobs for s in summaries],
+                "utilization": [round(s.capacity_utilization, 6) for s in summaries],
+                "routed_jobs": total_jobs,
+            },
+        )
+
+    pauses = 0
+    now = 0.0
     while pending is not None:
         started = time.perf_counter()
         summaries = list(backend.advance(pending.arrival_time))
@@ -328,6 +365,9 @@ def drive_federation(
         # All shards share the round grid, so they pause on the same
         # boundary: the first round start at or after the arrival.
         now = summaries[0].current_time
+        pauses += 1
+        if recorder is not None and pauses % DEFAULT_FEDERATION_INTERVAL == 0:
+            snapshot(now)
         started = time.perf_counter()
         # Jobs stranded by shards that died during that advance are
         # re-routed first: they arrived before anything still pending.
@@ -361,6 +401,19 @@ def drive_federation(
             jobs_per_shard[old_shard] -= 1
             route_one(orphan)
     routing_time += time.perf_counter() - started
+    if recorder is not None:
+        snapshot(now)
+        # Wall-clock counters are telemetry, not schedule: the kind is in
+        # NONDETERMINISTIC_KINDS and trace diff skips it by default.
+        recorder.emit(
+            EVENT_TIMING,
+            now,
+            {
+                "routing_time_s": routing_time,
+                "advance_time_s": advance_time,
+                "routed_jobs": total_jobs,
+            },
+        )
     return DriveStats(
         assignments=assignments,
         jobs_per_shard=jobs_per_shard,
@@ -379,7 +432,9 @@ class FederationEngine:
         router: FederationRouter,
         jobs: Iterable[Job],
         tracked_job_ids: Optional[Sequence[int]] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
+        self.recorder = recorder
         self.shards = list(shards)
         if not self.shards:
             raise ConfigurationError("a federation needs at least one shard")
@@ -407,7 +462,9 @@ class FederationEngine:
         """Route every gang, drain every shard, return the combined result."""
         wall_start = time.perf_counter()
         backend = LocalShardBackend(self.shards)
-        stats = drive_federation(backend, self.router, self._arrivals)
+        stats = drive_federation(
+            backend, self.router, self._arrivals, recorder=self.recorder
+        )
         started = time.perf_counter()
         shard_results = backend.finish()
         advance_time = stats.advance_time_s + (time.perf_counter() - started)
@@ -476,6 +533,14 @@ class UniformShardFactory:
     fast_forward: bool = True
     cluster_manager_factory: Optional[Callable[[int], Optional[ClusterManager]]] = None
     max_rounds: int = 200_000
+    #: Bound each shard's per-round log (None keeps everything, 0 disables);
+    #: streaming runs set 0 so worker memory stays flat over millions of jobs.
+    round_log_limit: Optional[int] = None
+    #: When set, each built shard streams telemetry to
+    #: ``<trace_dir>/shard-<id>.jsonl``.  The sink is opened *inside*
+    #: ``build`` -- i.e. inside the worker process in parallel mode -- so
+    #: fork and spawn contexts produce the same per-shard streams.
+    trace_dir: Optional[str] = None
 
     def build(self, shard_id: int) -> ShardSimulator:
         """Build the single shard ``shard_id`` with fresh policy instances."""
@@ -488,6 +553,16 @@ class UniformShardFactory:
             if self.cluster_manager_factory
             else None
         )
+        recorder = None
+        if self.trace_dir is not None:
+            os.makedirs(self.trace_dir, exist_ok=True)
+            sink = JsonlSink(
+                os.path.join(self.trace_dir, f"shard-{shard_id}.jsonl")
+            )
+            sink.write_header(
+                TraceHeader(metadata={"source": f"shard{shard_id}"})
+            )
+            recorder = TraceRecorder(sink, source=f"shard{shard_id}")
         return ShardSimulator(
             shard_id=shard_id,
             cluster_state=build_cluster(
@@ -503,6 +578,8 @@ class UniformShardFactory:
             round_duration=self.round_duration,
             fast_forward=self.fast_forward,
             max_rounds=self.max_rounds,
+            round_log_limit=self.round_log_limit,
+            recorder=recorder,
         )
 
     def build_all(self, num_shards: int) -> List[ShardSimulator]:

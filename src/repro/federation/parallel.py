@@ -106,6 +106,8 @@ from repro.federation.engine import (
 from repro.federation.router import FederationRouter, ShardViewSummary
 from repro.metrics.summary import FaultStats, SummaryStats, jct_summary
 from repro.simulator.engine import SimulationResult
+from repro.telemetry.events import EVENT_SUPERVISOR
+from repro.telemetry.recorder import TraceRecorder
 
 __all__ = [
     "ParallelFederationEngine",
@@ -388,6 +390,7 @@ class WorkerPoolBackend(ShardBackend):
         collect_timeout_s: Optional[float] = None,
         supervisor: Optional[SupervisorConfig] = None,
         kill_plan: Optional[WorkerKillPlan] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
@@ -396,6 +399,14 @@ class WorkerPoolBackend(ShardBackend):
         if collect_timeout_s is not None and collect_timeout_s <= 0:
             raise ConfigurationError(
                 f"collect_timeout_s must be positive or None, got {collect_timeout_s}"
+            )
+        if supervisor is not None and factory.trace_dir is not None:
+            # Checkpoints pickle whole shards; a shard tracing to an open
+            # JSONL handle cannot cross that boundary, and replaying a
+            # restored shard would re-emit duplicate trace records anyway.
+            raise ConfigurationError(
+                "supervised worker pools cannot use factory.trace_dir; "
+                "record supervisor telemetry on the parent recorder instead"
             )
         self.num_shards = num_shards
         self.workers = min(workers, num_shards)
@@ -431,6 +442,11 @@ class WorkerPoolBackend(ShardBackend):
         self._stat_replayed = 0
         self._stat_rerouted = 0
         self._stat_lost = 0
+        # Parent-side telemetry: supervisor actions (restart / checkpoint /
+        # degrade) with the running FaultStats counters, stamped with the
+        # last advanced-to simulated time.
+        self._recorder = recorder
+        self._now = 0.0
         try:
             for worker_index in range(self.workers):
                 self._spawn(worker_index, build=True)
@@ -615,11 +631,17 @@ class WorkerPoolBackend(ShardBackend):
                 self._respawn_and_replay(worker_index)
                 if resend is not None:
                     self._send(worker_index, resend)
+                self._emit_supervisor(
+                    "restart",
+                    worker=worker_index,
+                    attempt=self._restarts[worker_index],
+                )
                 return True
             except RetryableWorkerError:
                 self._reap(worker_index)
         if cfg.on_unrecoverable == "degrade":
             self._degrade(worker_index)
+            self._emit_supervisor("degrade", worker=worker_index)
             return False
         raise FatalWorkerError(
             f"{self._describe(worker_index)} unrecoverable after "
@@ -693,6 +715,16 @@ class WorkerPoolBackend(ShardBackend):
         self._log.clear()
         self._advances_since_checkpoint = 0
         self._stat_checkpoints += 1
+        self._emit_supervisor("checkpoint")
+
+    def _emit_supervisor(self, op: str, **extra) -> None:
+        """Stream a supervisor action plus the live FaultStats counters."""
+        if self._recorder is None:
+            return
+        payload = {"op": op, "advance_index": self._advance_index}
+        payload.update(extra)
+        payload.update(self.fault_stats().as_dict())
+        self._recorder.emit(EVENT_SUPERVISOR, self._now, payload)
 
     def _inject_kills(self, when: str) -> None:
         plan = self._kill_plan
@@ -774,6 +806,7 @@ class WorkerPoolBackend(ShardBackend):
                 "every federation shard is dead; nothing left to advance"
             )
         now = next(iter(by_shard.values())).current_time
+        self._now = now
         return [
             by_shard[shard_id] if shard_id in by_shard else _dead_summary(shard_id, now)
             for shard_id in range(self.num_shards)
@@ -982,9 +1015,11 @@ class ParallelFederationEngine:
         collect_timeout_s: Optional[float] = None,
         supervisor: Optional[SupervisorConfig] = None,
         kill_plan: Optional[WorkerKillPlan] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        self.recorder = recorder
         self.factory = factory
         self.num_shards = num_shards
         self.router = router
@@ -1011,6 +1046,7 @@ class ParallelFederationEngine:
             collect_timeout_s=self.collect_timeout_s,
             supervisor=self.supervisor,
             kill_plan=self.kill_plan,
+            recorder=self.recorder,
         )
 
     def run(self) -> FederationResult:
@@ -1034,6 +1070,7 @@ class ParallelFederationEngine:
                 router=self.router,
                 jobs=arrivals,
                 tracked_job_ids=tracked,
+                recorder=self.recorder,
             )
             result = engine.run()
             result.workers = 1
@@ -1041,7 +1078,9 @@ class ParallelFederationEngine:
         wall_start = time.perf_counter()
         backend = self._make_backend()
         try:
-            stats = drive_federation(backend, self.router, arrivals)
+            stats = drive_federation(
+                backend, self.router, arrivals, recorder=self.recorder
+            )
             started = time.perf_counter()
             shard_results = backend.finish()
             advance_time = stats.advance_time_s + (time.perf_counter() - started)
@@ -1081,7 +1120,11 @@ class ParallelFederationEngine:
         backend = self._make_backend()
         try:
             stats = drive_federation(
-                backend, self.router, self._jobs, record_assignments=False
+                backend,
+                self.router,
+                self._jobs,
+                record_assignments=False,
+                recorder=self.recorder,
             )
             started = time.perf_counter()
             shard_stats = backend.finish_stats()

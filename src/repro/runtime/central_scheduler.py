@@ -55,6 +55,7 @@ from repro.runtime.worker_manager import WorkerManager
 from repro.simulator.engine import SimulationResult, Simulator
 from repro.simulator.execution import ExecutionModel
 from repro.simulator.overheads import ClusterOverheadModel, OverheadModel
+from repro.telemetry.recorder import TraceRecorder
 
 
 class RpcLauncher(SimulatedLauncher):
@@ -173,6 +174,7 @@ class CentralScheduler:
         collect_worker_metrics: bool = True,
         fault_plan: Optional[FaultPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        recorder: Optional[TraceRecorder] = None,
     ) -> None:
         if lease_protocol not in ("central", "optimistic"):
             raise ConfigurationError(f"unknown lease protocol {lease_protocol!r}")
@@ -220,11 +222,20 @@ class CentralScheduler:
             manager_factory=partial(
                 DeploymentBloxManager, lease_manager=self.lease_manager
             ),
+            recorder=recorder,
         )
         # Swap in the RPC-backed launch/preemption mechanisms: the two modules
         # that differ between simulation and deployment.
         self._simulator.manager.launcher = launcher
         self._simulator.manager.preemptor = self.preemptor
+        # Telemetry: the lease protocol and the RPC channel share the
+        # simulator's recorder (one source, one monotonic sequence) and read
+        # the loop's clock -- hooks only observe, so traced deployment runs
+        # keep schedule parity with untraced ones.
+        if recorder is not None:
+            clock = lambda: self._simulator.manager.current_time  # noqa: E731
+            self.lease_manager.set_telemetry(recorder, clock)
+            self.channel.set_telemetry(recorder, clock)
 
     def run(self) -> SimulationResult:
         """Execute the workload through the deployment path."""

@@ -44,12 +44,13 @@ run, which ``python -m repro.bench --chaos`` gates along with
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.cluster_state import ClusterState
 from repro.core.exceptions import ConfigurationError, LeaseError
 from repro.runtime.rpc import InMemoryRpcChannel, RpcCostModel
 from repro.runtime.worker_manager import WorkerManager
+from repro.telemetry.events import EVENT_LEASE
 
 SCHEDULER_ENDPOINT = "central-scheduler"
 
@@ -84,6 +85,22 @@ class _LeaseManagerBase:
         #: across repeats of the same logical pair (a job re-granted after
         #: preemption must not dedup against its previous grant).
         self._op_seq = 0
+        #: Optional telemetry: (recorder, simulated-time clock).  Set through
+        #: :meth:`set_telemetry` (the CentralScheduler wires it); grants,
+        #: revocations and completions then stream as ``lease`` events.
+        self._telemetry: Optional[tuple] = None
+
+    def set_telemetry(self, recorder, clock) -> None:
+        """Stream lease transitions to ``recorder`` stamped by ``clock()``."""
+        self._telemetry = (recorder, clock)
+
+    def _emit_lease(self, op: str, job_id: int, **extra) -> None:
+        if self._telemetry is None:
+            return
+        recorder, clock = self._telemetry
+        payload = {"op": op, "job_id": job_id}
+        payload.update(extra)
+        recorder.emit(EVENT_LEASE, clock(), payload)
 
     def _token(self, op: str, job_id: int) -> str:
         self._op_seq += 1
@@ -143,6 +160,7 @@ class _LeaseManagerBase:
         self.assignments[job_id] = LeaseAssignment(job_id=job_id, node_ids=node_ids)
         self._active_leases[job_id] = True
         self._holders.setdefault(job_id, set()).update(node_ids)
+        self._emit_lease("grant", job_id, nodes=sorted(node_ids))
 
     def release(self, job_id: int) -> None:
         self.assignments.pop(job_id, None)
@@ -168,6 +186,7 @@ class _LeaseManagerBase:
                 idempotency_token=self._token("finish", job_id),
             )
         self.release(job_id)
+        self._emit_lease("complete", job_id)
 
     def critical_path_ms(self) -> float:
         """Latency of the round: the busiest endpoint bounds the round's lease time."""
@@ -225,6 +244,7 @@ class CentralLeaseManager(_LeaseManagerBase):
                 )
         for job_id in revoked:
             self.release(job_id)
+            self._emit_lease("revoke", job_id, protocol=self.name)
         return self.critical_path_ms()
 
 
@@ -260,6 +280,7 @@ class OptimisticLeaseManager(_LeaseManagerBase):
                     idempotency_token=self._token("revoke", job_id),
                 )
             self.release(job_id)
+            self._emit_lease("revoke", job_id, protocol=self.name)
         return self.critical_path_ms()
 
 

@@ -47,6 +47,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.exceptions import ConfigurationError, RpcFaultError
 from repro.metrics.summary import FaultStats
+from repro.telemetry.events import EVENT_RPC_FAULTS
 
 #: Completed-call results remembered for duplicate suppression.  Bounds the
 #: dedup memory; old tokens can only be re-delivered within a retry window,
@@ -236,6 +237,16 @@ class InMemoryRpcChannel:
         self.retries = 0
         self.duplicates_suppressed = 0
         self.exhausted = 0
+        #: Optional telemetry: (recorder, clock, interval).  Every
+        #: ``interval`` calls the channel streams a FaultStats snapshot, so
+        #: chaos runs are observable live instead of only post-run.
+        self._telemetry: Optional[Tuple] = None
+
+    def set_telemetry(self, recorder, clock, interval: int = 1024) -> None:
+        """Stream periodic ``rpc-faults`` counter snapshots to ``recorder``."""
+        if interval < 1:
+            raise ConfigurationError(f"telemetry interval must be >= 1, got {interval}")
+        self._telemetry = (recorder, clock, interval)
 
     def register(self, endpoint: str, method: str, handler: Callable[[Any], Any]) -> None:
         """Register a handler for ``method`` on ``endpoint``."""
@@ -306,6 +317,12 @@ class InMemoryRpcChannel:
             caller = self._context[-1]
         self.total_calls += 1
         self.lifetime_calls += 1
+        if self._telemetry is not None:
+            recorder, clock, interval = self._telemetry
+            if self.lifetime_calls % interval == 0:
+                recorder.emit(
+                    EVENT_RPC_FAULTS, clock(), self.fault_stats().as_dict()
+                )
         if log:
             self.call_log.append(
                 RpcCall(target=endpoint, method=method, payload=payload, caller=caller)

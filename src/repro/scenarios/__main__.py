@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 
 from repro.scenarios.registry import scenario_names
 from repro.scenarios.runner import SCENARIO_SEED, run_scenario_matrix
@@ -53,6 +54,7 @@ def main(argv=None) -> int:
         seed=args.seed,
         scenarios=args.scenario,
         processes=args.processes,
+        started_at=time.time(),
     )
     if args.out != "-":
         with open(args.out, "w") as handle:

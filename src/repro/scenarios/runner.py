@@ -28,6 +28,7 @@ from repro.policies.placement.consolidated import ConsolidatedPlacement
 from repro.policies.placement.first_free import FirstFreePlacement
 from repro.policies.scheduling import FifoScheduling, SrtfScheduling, TiresiasScheduling
 from repro.scenarios.registry import SMOKE_SCENARIOS, get_scenario, scenario_names
+from repro.telemetry.events import run_metadata
 from repro.simulator.engine import SimulationResult
 
 #: Seed every scenario in the checked-in matrix is compiled with.
@@ -78,8 +79,13 @@ def run_scenario_matrix(
     scenarios: Optional[Sequence[str]] = None,
     combos: Optional[Sequence[Tuple[str, str]]] = None,
     processes: Optional[int] = None,
+    started_at: Optional[float] = None,
 ) -> Dict[str, object]:
-    """Run the scenario matrix; returns the ``BENCH_scenarios.json`` payload."""
+    """Run the scenario matrix; returns the ``BENCH_scenarios.json`` payload.
+
+    ``started_at`` is the caller's wall-clock stamp for the report metadata
+    (the CLI passes ``time.time()``); the library never reads the clock.
+    """
     if scenarios is None:
         scenarios = SMOKE_SCENARIOS if smoke else scenario_names()
     if combos is None:
@@ -164,9 +170,16 @@ def run_scenario_matrix(
                 },
             }
 
+    config = {
+        "seed": seed,
+        "smoke": smoke,
+        "scenarios": sorted(scenarios),
+        "combos": [f"{policy}/{placement}" for policy, placement in combos],
+    }
     return {
         "seed": seed,
         "smoke": smoke,
+        "metadata": run_metadata(seed, config, started_at),
         "scenarios": {
             name: {
                 "description": compiled[name].spec.description,

@@ -14,8 +14,18 @@ from __future__ import annotations
 import heapq
 import math
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    MutableSequence,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.abstractions import (
     AdmissionPolicy,
@@ -33,6 +43,8 @@ from repro.core.job_state import JobState
 from repro.metrics.summary import SummaryStats, average, cdf_points, jct_summary
 from repro.simulator.execution import ExecutionModel
 from repro.simulator.overheads import OverheadModel
+from repro.telemetry.events import EVENT_DECISION, EVENT_EVICTION, EVENT_ROUND
+from repro.telemetry.recorder import TelemetryObserver, TraceRecorder
 
 
 @dataclass
@@ -142,6 +154,8 @@ class Simulator:
         job_state: Optional[JobState] = None,
         manager_factory: Optional[Callable[..., BloxManager]] = None,
         allow_empty_workload: bool = False,
+        recorder: Optional["TraceRecorder"] = None,
+        round_log_limit: Optional[int] = None,
     ) -> None:
         from repro.policies.admission.accept_all import AcceptAll
         from repro.policies.placement.consolidated import ConsolidatedPlacement
@@ -241,9 +255,35 @@ class Simulator:
         # routing events, submits routed jobs, and resumes it -- see
         # :meth:`_advance_loop`.  ``run()`` still drives a single
         # start-to-finish pass over this state.
-        self._round_log: List[RoundRecord] = []
+        #
+        # ``round_log_limit`` bounds the per-round history: N keeps the last N
+        # records (a deque ring), 0 disables the log entirely.  Streaming
+        # federation workers use this so 64-shard million-job runs do not
+        # accumulate unbounded per-round rows; the limit never changes what
+        # rounds execute, only what is retained.
+        if round_log_limit is not None and round_log_limit < 0:
+            raise ConfigurationError(
+                f"round_log_limit must be >= 0 or None, got {round_log_limit}"
+            )
+        self._round_log_limit = round_log_limit
+        self._round_log: MutableSequence[RoundRecord] = (
+            deque(maxlen=round_log_limit) if round_log_limit is not None else []
+        )
         self._eviction_count = 0
         self._wall_time = 0.0
+
+        # Telemetry is opt-in and read-only: the recorder hooks only observe
+        # state (never draw RNG or mutate anything), so a traced run stays
+        # bit-identical to an untraced one, and it deliberately is not a
+        # MetricCollector -- collectors disable steady-mode strides, which
+        # would turn "record a trace" into a multi-x slowdown.
+        self._recorder = recorder
+        self._telemetry_observer: Optional[TelemetryObserver] = None
+        if recorder is not None:
+            self._telemetry_observer = TelemetryObserver(recorder, clock=self.manager)
+            # The registry holds observers weakly; the instance attribute
+            # above is the strong reference keeping it alive.
+            self.job_state.add_observer(self._telemetry_observer)
 
     # ------------------------------------------------------------------
 
@@ -275,7 +315,7 @@ class Simulator:
     def _round_record(self) -> RoundRecord:
         mgr = self.manager
         running = self.job_state.count_with_status(JobStatus.RUNNING)
-        return RoundRecord(
+        record = RoundRecord(
             round_number=mgr.round_number,
             time=mgr.current_time,
             running_jobs=running,
@@ -288,6 +328,23 @@ class Simulator:
             busy_capacity=self.cluster_state.busy_capacity(),
             healthy_capacity=self.cluster_state.healthy_capacity(),
         )
+        # Every appended RoundRecord -- full rounds, light rounds, steady
+        # strides, the drain chain -- is built here, so this is the single
+        # choke point that makes the traced round stream equal the round log.
+        if self._recorder is not None:
+            self._recorder.emit(
+                EVENT_ROUND,
+                record.time,
+                {
+                    "round": record.round_number,
+                    "running": record.running_jobs,
+                    "queued": record.queued_jobs,
+                    "utilization": record.utilization,
+                    "busy_capacity": record.busy_capacity,
+                    "healthy_capacity": record.healthy_capacity,
+                },
+            )
+        return record
 
     # ------------------------------------------------------------------
     # Event-skipping fast-forward
@@ -711,6 +768,12 @@ class Simulator:
                         if job.status == JobStatus.RUNNING:
                             mgr.preemptor.preempt(job, self.cluster_state, mgr.current_time)
                             self._eviction_count += 1
+                            if self._recorder is not None:
+                                self._recorder.emit(
+                                    EVENT_EVICTION,
+                                    mgr.current_time,
+                                    {"job_id": job_id},
+                                )
 
                 # 2./3. Progress from the previous round, then free completed jobs.
                 mgr.update_metrics(self.cluster_state, self.job_state)
@@ -734,7 +797,20 @@ class Simulator:
                 # must be judged against the pre-application state).
                 if self.fast_forward and self._policy_event_aware:
                     self._last_decision_noop = self._decision_is_noop(decision)
-                mgr.exec_jobs(decision, self.cluster_state, self.job_state)
+                launched = mgr.exec_jobs(decision, self.cluster_state, self.job_state)
+                # Trace non-trivial decisions (pure lease renewals are noise).
+                # exec_jobs reports what it actually applied, so tracing never
+                # re-scans the launch map; the event lands after the status
+                # transitions it caused, at the same simulated time.
+                if self._recorder is not None and (launched or decision.to_suspend):
+                    self._recorder.emit(
+                        EVENT_DECISION,
+                        mgr.current_time,
+                        {
+                            "launch": [[jid, sorted(gpus)] for jid, gpus in launched or ()],
+                            "suspend": sorted(decision.to_suspend),
+                        },
+                    )
 
                 # 7. Metric collection.
                 for collector in self.metric_collectors:
@@ -754,16 +830,26 @@ class Simulator:
         finally:
             self._wall_time += time.perf_counter() - wall_start
 
+    def flush_telemetry(self) -> None:
+        """Push buffered trace records to the recorder's sink, if any."""
+        if self._recorder is not None:
+            flush = getattr(self._recorder.sink, "flush", None)
+            if flush is not None:
+                flush()
+
     def build_result(self) -> SimulationResult:
         """Snapshot the loop state into a :class:`SimulationResult`."""
         mgr = self.manager
+        round_log = self._round_log
+        if self._round_log_limit is not None:
+            round_log = list(round_log)
         return SimulationResult(
             jobs=self.job_state.all_jobs(),
             tracked_job_ids=self.tracked_job_ids,
             round_duration=mgr.round_duration,
             rounds=mgr.round_number,
             end_time=mgr.current_time,
-            round_log=self._round_log,
+            round_log=round_log,
             wall_time_s=self._wall_time,
             eviction_count=self._eviction_count,
         )
@@ -775,6 +861,7 @@ class Simulator:
                 f"simulation did not finish within {self.max_rounds} rounds; "
                 "the workload is likely too large for the cluster or a policy is starving jobs"
             )
+        self.flush_telemetry()
         return self.build_result()
 
 

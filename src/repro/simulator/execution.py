@@ -189,8 +189,10 @@ class ExecutionModel:
         self._update_app_metrics(job, rate)
 
         if completed:
-            job.status = JobStatus.COMPLETED
+            # completion_time first: the status setter notifies JobState
+            # observers, which read the JCT off the job.
             job.completion_time = round_start + overhead_used + compute_seconds
+            job.status = JobStatus.COMPLETED
         return RoundProgress(
             job_id=job.job_id,
             work_done=work,
@@ -307,8 +309,8 @@ class ExecutionModel:
         job.pending_overhead = pending
         self._update_app_metrics(job, rate)
         if completed:
-            job.status = JobStatus.COMPLETED
             job.completion_time = final_round_start + overhead_used + compute_seconds
+            job.status = JobStatus.COMPLETED
         return completed
 
     def _update_app_metrics(self, job: Job, rate: float) -> None:

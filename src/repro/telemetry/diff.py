@@ -1,0 +1,91 @@
+"""Deterministic event-stream diffing: the engine behind ``trace diff``.
+
+Streams are compared *per source*: each source's events form a totally
+ordered sequence (monotonic ``seq``), so two runs agree exactly when every
+source produced the identical sequence.  Comparing per source -- rather than
+one globally merged list -- keeps the diff meaningful when two traces
+interleave sources differently on disk (parallel workers flush
+independently) while still being order-exact where order is defined.
+
+Kinds in :data:`~repro.telemetry.events.NONDETERMINISTIC_KINDS` (wall-clock
+timing snapshots, fault-driven supervisor actions) are excluded by default;
+``seq`` gaps left by the exclusion are ignored, only the relative order and
+content of the remaining events count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence
+
+from repro.telemetry.events import NONDETERMINISTIC_KINDS, TraceEvent
+
+#: Cap on reported divergences per diff (the first one is the debugging
+#: entry point; thousands of follow-on mismatches are noise).
+MAX_REPORTED = 10
+
+
+def group_by_source(events: Sequence[TraceEvent]) -> Dict[str, List[TraceEvent]]:
+    grouped: Dict[str, List[TraceEvent]] = {}
+    for event in events:
+        grouped.setdefault(event.source, []).append(event)
+    return grouped
+
+
+def _describe(event: TraceEvent) -> str:
+    return (
+        f"t={event.time:g} {event.kind} seq={event.seq} "
+        f"payload={dict(event.payload)!r}"
+    )
+
+
+def diff_streams(
+    events_a: Sequence[TraceEvent],
+    events_b: Sequence[TraceEvent],
+    ignore_kinds: FrozenSet[str] = NONDETERMINISTIC_KINDS,
+) -> List[str]:
+    """Human-readable divergences between two event streams ([] = identical).
+
+    ``a`` is conventionally the recorded trace and ``b`` the replay.
+    """
+    divergences: List[str] = []
+    filtered_a = group_by_source(
+        [e for e in events_a if e.kind not in ignore_kinds]
+    )
+    filtered_b = group_by_source(
+        [e for e in events_b if e.kind not in ignore_kinds]
+    )
+    for source in sorted(set(filtered_a) | set(filtered_b)):
+        stream_a = filtered_a.get(source, [])
+        stream_b = filtered_b.get(source, [])
+        if source not in filtered_a:
+            divergences.append(
+                f"source {source!r}: only in b ({len(stream_b)} events)"
+            )
+            continue
+        if source not in filtered_b:
+            divergences.append(
+                f"source {source!r}: only in a ({len(stream_a)} events)"
+            )
+            continue
+        for index, (ev_a, ev_b) in enumerate(zip(stream_a, stream_b)):
+            if (ev_a.time, ev_a.kind, dict(ev_a.payload)) != (
+                ev_b.time,
+                ev_b.kind,
+                dict(ev_b.payload),
+            ):
+                divergences.append(
+                    f"source {source!r} event #{index}: "
+                    f"a[{_describe(ev_a)}] != b[{_describe(ev_b)}]"
+                )
+                if len(divergences) >= MAX_REPORTED:
+                    divergences.append("... (further divergences suppressed)")
+                    return divergences
+        if len(stream_a) != len(stream_b):
+            divergences.append(
+                f"source {source!r}: a has {len(stream_a)} events, "
+                f"b has {len(stream_b)}"
+            )
+        if len(divergences) >= MAX_REPORTED:
+            divergences.append("... (further divergences suppressed)")
+            return divergences
+    return divergences

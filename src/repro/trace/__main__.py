@@ -1,0 +1,15 @@
+import os
+import sys
+
+from repro.trace import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: exit quietly.  stdout is
+        # re-pointed at devnull first so interpreter shutdown doesn't raise
+        # again while flushing the dead handle.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        sys.exit(0)

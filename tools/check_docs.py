@@ -13,7 +13,12 @@ Checks, for ``README.md`` and every ``docs/*.md``:
   paths (``src/...``, ``docs/...``, ``tests/...``, ``tools/...`` or a
   top-level ``*.md``/``*.json``/``*.py``/``*.yml``) name files that exist,
   so prose like "see `src/repro/federation/engine.py`" breaks CI when the
-  file moves.
+  file moves;
+* **module commands** -- every ``python -m repro.<module>`` mentioned
+  anywhere (prose *and* fenced code blocks) resolves to a real module under
+  ``src/`` that is runnable (a package with ``__main__.py``, or a plain
+  module), so documented entry points like ``python -m repro.trace`` break
+  CI when they move.
 
 External ``http(s)://`` / ``mailto:`` links are skipped (CI has no network
 guarantee).  Exit status is the number of broken references; the CLI smoke
@@ -43,6 +48,8 @@ PATHLIKE_RE = re.compile(
 PATH_ALLOWLIST = {
     "docs/*.md",
 }
+#: Documented runnable modules: ``python -m repro.bench --smoke`` etc.
+MODULE_CMD_RE = re.compile(r"python\s+-m\s+(repro(?:\.\w+)+)")
 
 
 def strip_code_blocks(text: str) -> str:
@@ -119,6 +126,17 @@ def check_file(md_path: Path) -> List[str]:
             continue
         if not (REPO_ROOT / span).exists():
             errors.append(f"{rel}: stale file reference `{span}` (no such file)")
+
+    # Module commands can hide inside fenced quickstart blocks, so scan the
+    # raw text, not the stripped one.
+    for module in sorted({m.group(1) for m in MODULE_CMD_RE.finditer(raw)}):
+        base = REPO_ROOT / "src" / Path(*module.split("."))
+        runnable = (base / "__main__.py").exists() or base.with_suffix(".py").exists()
+        if not runnable:
+            errors.append(
+                f"{rel}: documented command `python -m {module}` is not "
+                "runnable (no __main__.py package or module under src/)"
+            )
     return errors
 
 
