@@ -1,0 +1,63 @@
+"""repro.analysis -- the repo's AST-based invariant linter.
+
+``python -m repro.lint`` is the CLI front door; this package holds the
+framework (:mod:`~repro.analysis.core`), the repo-knowledge manifest
+(:mod:`~repro.analysis.manifest`), and the rule families:
+
+* **D** determinism (:mod:`~repro.analysis.rules_determinism`)
+* **P** picklability / spawn-safety (:mod:`~repro.analysis.rules_pickle`)
+* **C** policy-contract conformance (:mod:`~repro.analysis.rules_contracts`)
+* **H** hot-path hygiene (:mod:`~repro.analysis.rules_hotpath`)
+
+plus the pipeline-level pseudo-rules **L100** (syntax error) and **L101**
+(unused suppression).  See ``docs/static-analysis.md`` for the catalog.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple, Type
+
+from repro.analysis.core import Finding, Pipeline, Rule, SyntaxErrorRule
+from repro.analysis.manifest import LintManifest, default_manifest
+from repro.analysis.rules_contracts import CONTRACT_RULES
+from repro.analysis.rules_determinism import DETERMINISM_RULES
+from repro.analysis.rules_hotpath import HOTPATH_RULES
+from repro.analysis.rules_pickle import PICKLE_RULES
+from repro.analysis.runner import (
+    LintResult,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
+
+#: Every registered rule class, in reporting order.  Adding a rule means
+#: appending it here, documenting it in docs/static-analysis.md (CI's
+#: check_docs.py cross-checks the two), and adding a fixture test.
+ALL_RULES: Tuple[Type[Rule], ...] = (
+    DETERMINISM_RULES + PICKLE_RULES + CONTRACT_RULES + HOTPATH_RULES
+)
+
+
+def rule_catalog() -> Dict[str, str]:
+    """rule id -> one-line description, including pipeline pseudo-rules."""
+    catalog: Dict[str, str] = {
+        cls.rule_id: cls.description for cls in ALL_RULES
+    }
+    catalog[SyntaxErrorRule.rule_id] = SyntaxErrorRule.description
+    catalog["L101"] = "suppression marker does not match any finding"
+    return catalog
+
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintManifest",
+    "LintResult",
+    "Pipeline",
+    "Rule",
+    "default_manifest",
+    "lint_paths",
+    "lint_source",
+    "lint_sources",
+    "rule_catalog",
+]

@@ -1,0 +1,71 @@
+"""The grandfathering baseline: known findings that do not gate (yet).
+
+The baseline exists so the linter can be adopted mid-project without a
+flag-day: pre-existing findings are checked in (``tools/lint_baseline.json``),
+new code gates immediately, and the baseline only ever shrinks.  **The
+checked-in baseline of this repo is empty** -- every true positive found at
+introduction time was fixed in the same PR -- and the CI job keeps it that
+way; the machinery stays because downstream forks adopting new rules need
+the ramp.
+
+Entries are keyed on ``(rule, path, stripped line text)`` rather than line
+numbers, so edits elsewhere in a file do not resurrect grandfathered
+findings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Set, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """A set of grandfathered finding keys, JSON-(de)serializable."""
+
+    def __init__(self, keys: Set[Tuple[str, str, str]] = None) -> None:
+        self.keys: Set[Tuple[str, str, str]] = set(keys or ())
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        version = int(data.get("version", 0))
+        if version > BASELINE_VERSION:
+            raise ValueError(
+                f"baseline version {version} is newer than supported "
+                f"{BASELINE_VERSION}"
+            )
+        keys = {
+            (entry["rule"], entry["path"], entry["content"])
+            for entry in data.get("findings", [])
+        }
+        return cls(keys)
+
+    def dump(self, path: Path) -> None:
+        findings = [
+            {"rule": rule, "path": rel, "content": content}
+            for rule, rel, content in sorted(self.keys)
+        ]
+        path.write_text(
+            json.dumps({"version": BASELINE_VERSION, "findings": findings}, indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+
+    # ------------------------------------------------------------------
+
+    def contains(self, finding: Finding, line_text: str) -> bool:
+        return finding.baseline_key(line_text) in self.keys
+
+    @classmethod
+    def from_findings(
+        cls, findings: List[Tuple[Finding, str]]
+    ) -> "Baseline":
+        """Build a baseline grandfathering ``(finding, line text)`` pairs."""
+        return cls({f.baseline_key(text) for f, text in findings})

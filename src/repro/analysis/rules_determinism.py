@@ -1,0 +1,489 @@
+"""(D) Determinism rules.
+
+Bit-identical schedules are the ground the whole bench/parity story stands
+on (modular-scheduler comparisons are only meaningful when runs are
+reproducible), so these rules ban the three classic nondeterminism sources:
+ambient randomness (D101), ambient wall-clock / environment reads on the
+simulation path (D102/D103), and memory-layout-dependent ordering -- set
+iteration order (D104) and ``id()`` (D105).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.analysis.core import FileContext, Rule, dotted_name, parent_of
+
+#: Wall-clock reads D102 bans (matched against the written dotted call).
+WALLCLOCK_CALLEES: FrozenSet[str] = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+    }
+)
+#: Suffix-matched (``datetime.datetime.now`` and ``datetime.now`` both hit).
+WALLCLOCK_SUFFIXES: Tuple[str, ...] = (
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+)
+
+#: Consumers that make set iteration order-safe (or order-irrelevant).
+ORDER_SAFE_CONSUMERS: FrozenSet[str] = frozenset(
+    {"sorted", "len", "sum", "min", "max", "any", "all", "set", "frozenset"}
+)
+
+
+class UnseededRandomRule(Rule):
+    """D101: module-level ``random.*`` calls / unseeded ``random.Random()``.
+
+    Module-level randomness shares one hidden global stream across every
+    caller, so adding any draw anywhere perturbs every schedule after it.
+    All randomness must flow through an explicitly seeded ``random.Random``
+    instance owned by the component.
+    """
+
+    rule_id = "D101"
+    description = (
+        "module-level random.* call or unseeded Random() -- randomness must "
+        "come from an explicitly seeded random.Random instance"
+    )
+    hint = "thread a seeded random.Random(seed) through the component"
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        if name in ("random.Random", "random.SystemRandom", "Random", "SystemRandom"):
+            if name.endswith("SystemRandom") or not (node.args or node.keywords):
+                ctx.report(self, node, f"unseeded RNG construction `{name}()`")
+            return
+        if name.startswith("random.") and name.count(".") == 1:
+            ctx.report(self, node, f"module-level `{name}()` draws from the global RNG")
+            return
+        if ".random." in name and (
+            name.startswith("np.") or name.startswith("numpy.")
+        ):
+            ctx.report(
+                self,
+                node,
+                f"global numpy RNG call `{name}()`",
+                hint="use numpy.random.Generator seeded via default_rng(seed)",
+            )
+
+
+class WallClockRule(Rule):
+    """D102: wall-clock reads inside simulation-path packages.
+
+    Simulated time comes from the engine clock; reading the host clock on
+    the simulation path makes payloads (and anything branching on them)
+    differ between a run and its replay.  Measurement-only reads are
+    allowlisted per file+callee in the manifest.
+    """
+
+    rule_id = "D102"
+    description = (
+        "wall-clock read on the simulation path -- simulated time must come "
+        "from the engine clock"
+    )
+    hint = (
+        "use the simulated clock, or add a manifest allowlist entry if this "
+        "is measurement-only"
+    )
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        if not ctx.in_simulation_path():
+            return
+        name = dotted_name(node.func)
+        if name is None:
+            return
+        hit = name in WALLCLOCK_CALLEES or any(
+            name == suffix or name.endswith("." + suffix)
+            for suffix in WALLCLOCK_SUFFIXES
+        )
+        if not hit:
+            return
+        if ctx.manifest.wallclock_allowed(ctx.rel, self.rule_id, name):
+            return
+        ctx.report(self, node, f"wall-clock read `{name}()` in simulation package")
+
+
+class EnvReadRule(Rule):
+    """D103: process-environment reads inside simulation-path packages.
+
+    Environment contents differ across hosts and launches; simulation
+    behaviour keyed on them is invisible, unrecorded configuration.  Config
+    must arrive through explicit constructor/spec parameters.
+    """
+
+    rule_id = "D103"
+    description = (
+        "os.environ/os.getenv read on the simulation path -- configuration "
+        "must be explicit"
+    )
+    hint = "pass the value in via constructor/RunSpec instead"
+
+    def visit_Attribute(self, ctx: FileContext, node: ast.Attribute) -> None:
+        if not ctx.in_simulation_path():
+            return
+        if dotted_name(node) == "os.environ" and not ctx.manifest.wallclock_allowed(
+            ctx.rel, self.rule_id, "os.environ"
+        ):
+            ctx.report(self, node, "`os.environ` read in simulation package")
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        if not ctx.in_simulation_path():
+            return
+        if dotted_name(node.func) == "os.getenv" and not ctx.manifest.wallclock_allowed(
+            ctx.rel, self.rule_id, "os.getenv"
+        ):
+            ctx.report(self, node, "`os.getenv()` read in simulation package")
+
+
+class IdOrderingRule(Rule):
+    """D105: ``id()`` in simulation code.
+
+    ``id()`` is a memory address -- process-layout-dependent and different
+    on every run -- so any key, comparison, or tiebreak built on it is
+    nondeterministic by construction.
+    """
+
+    rule_id = "D105"
+    description = "id() is a memory address; never use it in keys or ordering"
+    hint = "key on a stable identifier (job_id, node_id, name) instead"
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        if not ctx.in_simulation_path():
+            return
+        if isinstance(node.func, ast.Name) and node.func.id == "id" and node.args:
+            ctx.report(self, node, "`id()` call in simulation package")
+
+
+# ---------------------------------------------------------------------------
+# D104: unordered set iteration feeding ordering-sensitive sinks
+# ---------------------------------------------------------------------------
+
+
+def _is_set_annotation(node: Optional[ast.AST]) -> bool:
+    """``Set[...]`` / ``FrozenSet[...]`` / bare ``set`` annotations."""
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id in ("Set", "FrozenSet", "set", "frozenset", "MutableSet")
+    if isinstance(node, ast.Attribute):  # typing.Set etc.
+        return node.attr in ("Set", "FrozenSet", "MutableSet")
+    return False
+
+
+def _is_dict_of_set_annotation(node: Optional[ast.AST]) -> bool:
+    """``Dict[K, Set[V]]`` annotations (``self._free_by_node`` style)."""
+    if not isinstance(node, ast.Subscript):
+        return False
+    base = node.value
+    base_name = base.id if isinstance(base, ast.Name) else (
+        base.attr if isinstance(base, ast.Attribute) else None
+    )
+    if base_name not in ("Dict", "dict", "DefaultDict", "defaultdict", "Mapping", "MutableMapping"):
+        return False
+    sl = node.slice
+    if isinstance(sl, ast.Tuple) and len(sl.elts) == 2:
+        return _is_set_annotation(sl.elts[1])
+    return False
+
+
+class _ScopeTypes:
+    """Set-typed names visible in one function (or module) scope."""
+
+    def __init__(self) -> None:
+        self.set_names: Set[str] = set()
+
+    def mark(self, name: str, is_set: bool) -> None:
+        if is_set:
+            self.set_names.add(name)
+        else:
+            self.set_names.discard(name)
+
+
+class UnorderedIterationRule(Rule):
+    """D104: iterating a set where the resulting order can leak out.
+
+    Set iteration order depends on insertion history and hash seeds; when
+    it feeds list building, routing, or schedule emission the run is no
+    longer replayable.  Iterations whose consumer is order-insensitive
+    (``sorted``/``len``/``sum``/``min``/``max``/``any``/``all``/set
+    building) are not flagged.  Known limitation: set-ness is inferred per
+    scope from literals, annotations, and set-returning operations --
+    values passed through untyped parameters are not tracked, and
+    ``list.extend(<set>)`` is deliberately not a sink (the repo idiom
+    extends then sorts once).
+    """
+
+    rule_id = "D104"
+    description = (
+        "iteration over a set feeds an ordering-sensitive sink -- wrap in "
+        "sorted(...)"
+    )
+    hint = "iterate sorted(<set>) so the order is stable across runs"
+
+    def begin_file(self, ctx: FileContext) -> None:
+        # attr name -> "set" | "dict_of_set", per enclosing class, built from
+        # __init__/class-level annotations so self._x resolves in any method.
+        self._class_attrs: Dict[ast.ClassDef, Dict[str, str]] = {}
+        if ctx.tree is None or ctx.module is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                self._class_attrs[node] = self._collect_class_attrs(node)
+
+    @staticmethod
+    def _collect_class_attrs(cls: ast.ClassDef) -> Dict[str, str]:
+        attrs: Dict[str, str] = {}
+
+        def note(name: str, annotation: ast.AST) -> None:
+            if _is_set_annotation(annotation):
+                attrs[name] = "set"
+            elif _is_dict_of_set_annotation(annotation):
+                attrs[name] = "dict_of_set"
+
+        for stmt in cls.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                note(stmt.target.id, stmt.annotation)
+        for stmt in ast.walk(cls):
+            if isinstance(stmt, ast.AnnAssign) and isinstance(
+                stmt.target, ast.Attribute
+            ):
+                if (
+                    isinstance(stmt.target.value, ast.Name)
+                    and stmt.target.value.id == "self"
+                ):
+                    note(stmt.target.attr, stmt.annotation)
+        return attrs
+
+    # -- scope analysis --------------------------------------------------
+
+    def _owning_class_attrs(self, node: ast.AST) -> Dict[str, str]:
+        cur: Optional[ast.AST] = node
+        while cur is not None:
+            if isinstance(cur, ast.ClassDef):
+                return self._class_attrs.get(cur, {})
+            cur = parent_of(cur)
+        return {}
+
+    def _is_set_expr(
+        self, node: ast.AST, scope: _ScopeTypes, attrs: Dict[str, str]
+    ) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in scope.set_names
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return attrs.get(node.attr) == "set"
+            return False
+        if isinstance(node, ast.Subscript):
+            return self._is_dict_of_set_expr(node.value, scope, attrs)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left, scope, attrs) or self._is_set_expr(
+                node.right, scope, attrs
+            )
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name in ("set", "frozenset"):
+                return True
+            if isinstance(node.func, ast.Attribute):
+                method = node.func.attr
+                if method in (
+                    "union",
+                    "intersection",
+                    "difference",
+                    "symmetric_difference",
+                    "copy",
+                ) and self._is_set_expr(node.func.value, scope, attrs):
+                    return True
+                if method in ("get", "pop", "setdefault") and self._is_dict_of_set_expr(
+                    node.func.value, scope, attrs
+                ):
+                    return True
+        return False
+
+    def _is_dict_of_set_expr(
+        self, node: ast.AST, scope: _ScopeTypes, attrs: Dict[str, str]
+    ) -> bool:
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return attrs.get(node.attr) == "dict_of_set"
+        return False
+
+    # -- visitors --------------------------------------------------------
+
+    def visit_FunctionDef(self, ctx: FileContext, node: ast.FunctionDef) -> None:
+        self._check_scope(ctx, node)
+
+    def visit_AsyncFunctionDef(
+        self, ctx: FileContext, node: ast.AsyncFunctionDef
+    ) -> None:
+        self._check_scope(ctx, node)
+
+    def visit_Module(self, ctx: FileContext, node: ast.Module) -> None:
+        self._check_scope(ctx, node)
+
+    def _check_scope(self, ctx: FileContext, fn: ast.AST) -> None:
+        if ctx.module is None:
+            return
+        attrs = self._owning_class_attrs(fn)
+        scope = _ScopeTypes()
+
+        if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for arg in list(fn.args.args) + list(fn.args.kwonlyargs):
+                if arg.annotation is not None and _is_set_annotation(arg.annotation):
+                    scope.mark(arg.arg, True)
+            body = fn.body
+        else:
+            body = getattr(fn, "body", [])
+
+        # Forward pass in statement order: assignments refine name types,
+        # sinks are checked against the types known at that point.  Nested
+        # function bodies are skipped -- they get their own scope visit.
+        for stmt in body:
+            self._walk_stmt(ctx, stmt, scope, attrs)
+
+    def _walk_stmt(
+        self, ctx: FileContext, stmt: ast.AST, scope: _ScopeTypes, attrs: Dict[str, str]
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return
+
+        if isinstance(stmt, ast.Assign):
+            self._check_expr(ctx, stmt.value, scope, attrs)
+            is_set = self._is_set_expr(stmt.value, scope, attrs)
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    scope.mark(target.id, is_set)
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._check_expr(ctx, stmt.value, scope, attrs)
+            if isinstance(stmt.target, ast.Name):
+                scope.mark(stmt.target.id, _is_set_annotation(stmt.annotation))
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._check_expr(ctx, stmt.value, scope, attrs)
+            return
+        if isinstance(stmt, ast.For):
+            self._check_iter(ctx, stmt.iter, scope, attrs)
+            if not self._is_set_expr(stmt.iter, scope, attrs):
+                self._check_expr(ctx, stmt.iter, scope, attrs)
+            self._mark_loop_target(stmt, scope, attrs)
+            for inner in stmt.body + stmt.orelse:
+                self._walk_stmt(ctx, inner, scope, attrs)
+            return
+        if isinstance(stmt, (ast.If, ast.While)):
+            self._check_expr(ctx, stmt.test, scope, attrs)
+            for inner in stmt.body + stmt.orelse:
+                self._walk_stmt(ctx, inner, scope, attrs)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._check_expr(ctx, item.context_expr, scope, attrs)
+            for inner in stmt.body:
+                self._walk_stmt(ctx, inner, scope, attrs)
+            return
+        if isinstance(stmt, ast.Try):
+            for inner in (
+                stmt.body
+                + [s for h in stmt.handlers for s in h.body]
+                + stmt.orelse
+                + stmt.finalbody
+            ):
+                self._walk_stmt(ctx, inner, scope, attrs)
+            return
+
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._check_expr(ctx, child, scope, attrs)
+
+    def _mark_loop_target(
+        self, stmt: ast.For, scope: _ScopeTypes, attrs: Dict[str, str]
+    ) -> None:
+        """``for ids in <dict-of-set>.values()`` makes the target a set."""
+        it = stmt.iter
+        if (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Attribute)
+            and self._is_dict_of_set_expr(it.func.value, scope, attrs)
+        ):
+            if it.func.attr == "values" and isinstance(stmt.target, ast.Name):
+                scope.mark(stmt.target.id, True)
+            elif (
+                it.func.attr == "items"
+                and isinstance(stmt.target, ast.Tuple)
+                and len(stmt.target.elts) == 2
+                and isinstance(stmt.target.elts[1], ast.Name)
+            ):
+                scope.mark(stmt.target.elts[1].id, True)
+
+    def _check_expr(
+        self,
+        ctx: FileContext,
+        expr: ast.AST,
+        scope: _ScopeTypes,
+        attrs: Dict[str, str],
+    ) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Lambda, ast.SetComp, ast.DictComp)):
+                continue
+            if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                # A comprehension handed straight to sorted()/len()/... is
+                # order-insensitive regardless of what it iterates.
+                if self._consumer_is_order_safe(node):
+                    continue
+                for gen in node.generators:
+                    self._check_iter(ctx, gen.iter, scope, attrs)
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in ("list", "tuple", "enumerate") and node.args:
+                    if self._consumer_is_order_safe(node):
+                        continue
+                    self._check_iter(ctx, node.args[0], scope, attrs)
+
+    @staticmethod
+    def _consumer_is_order_safe(node: ast.AST) -> bool:
+        parent = parent_of(node)
+        if isinstance(parent, ast.Call):
+            name = dotted_name(parent.func)
+            if name in ORDER_SAFE_CONSUMERS:
+                return True
+        return False
+
+    def _check_iter(
+        self, ctx: FileContext, it: ast.AST, scope: _ScopeTypes, attrs: Dict[str, str]
+    ) -> None:
+        if self._is_set_expr(it, scope, attrs):
+            desc = dotted_name(it) or "a set expression"
+            ctx.report(
+                self,
+                it,
+                f"iterating `{desc}` (a set) in an ordering-sensitive context",
+            )
+
+
+DETERMINISM_RULES = (
+    UnseededRandomRule,
+    WallClockRule,
+    EnvReadRule,
+    UnorderedIterationRule,
+    IdOrderingRule,
+)

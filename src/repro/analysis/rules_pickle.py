@@ -1,0 +1,187 @@
+"""(P) Picklability / spawn-safety rules.
+
+The parallel federation backend ships :class:`~repro.core.job.Job` /
+:class:`~repro.core.job_state.JobState` snapshots, shard factories, scenario
+timelines, and :class:`~repro.federation.router.ShardViewSummary` digests
+across ``multiprocessing`` (spawn) pipes and into checkpoint files.  A
+lambda, open handle, lock, or weakref growing into one of those classes
+breaks pickling only at runtime, on the parallel path, under load -- these
+rules catch it at diff time instead.
+
+Which classes are "pipe-crossing" is declared in the manifest's
+``PICKLE_REGISTRY``; a class with a matching ``__getstate__`` **and**
+``__setstate__`` pair may hold transient unpicklables (it promised to strip
+them), so P101 only fires when the pair is absent and P102 fires when the
+pair is half-written.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Optional
+
+from repro.analysis.core import FileContext, Rule, dotted_name, parent_of
+
+#: Constructors whose results never survive a pickle round-trip.
+HAZARD_CALLS: FrozenSet[str] = frozenset(
+    {
+        "open",
+        "io.open",
+        "threading.Lock",
+        "threading.RLock",
+        "threading.Condition",
+        "threading.Event",
+        "threading.Semaphore",
+        "threading.BoundedSemaphore",
+        "multiprocessing.Lock",
+        "multiprocessing.RLock",
+        "weakref.ref",
+        "weakref.proxy",
+        "weakref.WeakSet",
+        "weakref.WeakKeyDictionary",
+        "weakref.WeakValueDictionary",
+    }
+)
+
+
+def _enclosing_class(node: ast.AST) -> Optional[ast.ClassDef]:
+    cur = parent_of(node)
+    while cur is not None:
+        if isinstance(cur, ast.ClassDef):
+            return cur
+        cur = parent_of(cur)
+    return None
+
+
+def _has_state_pair(cls: ast.ClassDef) -> bool:
+    names = {
+        stmt.name
+        for stmt in cls.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+    return "__getstate__" in names and "__setstate__" in names
+
+
+def _stored_in_instance_state(node: ast.AST) -> bool:
+    """True when ``node`` is the value of ``self.x = ...`` / a class attr.
+
+    Transient uses (a sort-key lambda, a lock acquired and dropped inside a
+    method) do not land in instance state and are not pickle hazards.
+    """
+    parent = parent_of(node)
+    if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+        targets = (
+            parent.targets if isinstance(parent, ast.Assign) else [parent.target]
+        )
+        for target in targets:
+            if isinstance(target, ast.Attribute) and isinstance(
+                target.value, ast.Name
+            ):
+                if target.value.id == "self":
+                    return True
+            if isinstance(target, ast.Name):
+                # Class-level assignment (directly in the class body).
+                grand = parent_of(parent)
+                if isinstance(grand, ast.ClassDef):
+                    return True
+    if isinstance(parent, ast.keyword) and parent.arg == "default":
+        call = parent_of(parent)
+        if isinstance(call, ast.Call) and dotted_name(call.func) in (
+            "field",
+            "dataclasses.field",
+        ):
+            return True
+    return False
+
+
+class PickleHazardRule(Rule):
+    """P101: unpicklable state growing into a pipe-crossing class.
+
+    Fires on lambdas stored into instance/class state and on any
+    lock/weakref/open-handle construction anywhere in a registry class,
+    unless the class carries a ``__getstate__``/``__setstate__`` pair that
+    promises to strip the transient state before pickling.
+    """
+
+    rule_id = "P101"
+    description = (
+        "pipe-crossing class holds a lambda/open handle/lock/weakref "
+        "without a __getstate__/__setstate__ pair"
+    )
+    hint = (
+        "add a __getstate__/__setstate__ pair that drops the transient "
+        "state, or keep the state out of the class"
+    )
+
+    def _applicable_class(
+        self, ctx: FileContext, node: ast.AST
+    ) -> Optional[ast.ClassDef]:
+        cls = _enclosing_class(node)
+        if cls is None:
+            return None
+        if not ctx.manifest.pickle_registry_class(ctx.rel, cls.name):
+            return None
+        if _has_state_pair(cls):
+            return None
+        return cls
+
+    def visit_Lambda(self, ctx: FileContext, node: ast.Lambda) -> None:
+        cls = self._applicable_class(ctx, node)
+        if cls is None:
+            return
+        if _stored_in_instance_state(node):
+            ctx.report(
+                self,
+                node,
+                f"lambda stored in state of pipe-crossing class `{cls.name}` "
+                "(lambdas cannot be pickled)",
+            )
+
+    def visit_Call(self, ctx: FileContext, node: ast.Call) -> None:
+        cls = self._applicable_class(ctx, node)
+        if cls is None:
+            return
+        name = dotted_name(node.func)
+        if name in HAZARD_CALLS:
+            ctx.report(
+                self,
+                node,
+                f"`{name}()` inside pipe-crossing class `{cls.name}` without "
+                "a __getstate__/__setstate__ pair",
+            )
+
+
+class HalfStatePairRule(Rule):
+    """P102: a registry class defining only one of the state pair.
+
+    A lone ``__getstate__`` silently changes what pickles *out* while
+    ``__init__``-less unpickling restores raw dicts; a lone ``__setstate__``
+    never runs against the default state.  Either half alone is a latent
+    corruption, so the pair must land together.
+    """
+
+    rule_id = "P102"
+    description = "__getstate__ without __setstate__ (or vice versa)"
+    hint = "define both halves of the pair"
+
+    def visit_ClassDef(self, ctx: FileContext, node: ast.ClassDef) -> None:
+        if not ctx.manifest.pickle_registry_class(ctx.rel, node.name):
+            return
+        names = {
+            stmt.name
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        has_get = "__getstate__" in names
+        has_set = "__setstate__" in names
+        if has_get != has_set:
+            present = "__getstate__" if has_get else "__setstate__"
+            missing = "__setstate__" if has_get else "__getstate__"
+            ctx.report(
+                self,
+                node,
+                f"`{node.name}` defines {present} but not {missing}",
+            )
+
+
+PICKLE_RULES = (PickleHazardRule, HalfStatePairRule)

@@ -1,0 +1,79 @@
+"""Inline suppressions: ``# repro-lint: disable=RULE[,RULE]``.
+
+A suppression silences the named rules on its own line only (there is no
+block form -- narrow scope keeps suppressions honest).  Every suppression
+must actually suppress something: unused markers are themselves findings
+(L101), so stale suppressions cannot accumulate as the code under them
+changes.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.core import Finding
+
+SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)")
+
+
+def _comment_tokens(source: str):
+    """(line, text) for every real COMMENT token.
+
+    Tokenizing (rather than regex-scanning raw lines) means a marker inside
+    a string literal -- e.g. a lint-test fixture snippet -- is not a
+    suppression in the file that embeds it.
+    """
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError, ValueError):
+        # Unparseable tail: the pipeline reports L100 for the file anyway;
+        # comments before the error were already yielded.
+        return
+
+
+class FileSuppressions:
+    """Per-file suppression table with usage tracking."""
+
+    def __init__(self, rel: str, source: str) -> None:
+        self.rel = rel
+        #: line number -> set of rule ids suppressed there.
+        self.by_line: Dict[int, Set[str]] = {}
+        #: (line, rule) pairs that suppressed at least one finding.
+        self.used: Set[Tuple[int, str]] = set()
+        for lineno, text in _comment_tokens(source):
+            match = SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            rules = {part.strip() for part in match.group(1).split(",")}
+            self.by_line.setdefault(lineno, set()).update(rules)
+
+    def suppresses(self, finding: Finding) -> bool:
+        rules = self.by_line.get(finding.line)
+        if rules and finding.rule in rules:
+            self.used.add((finding.line, finding.rule))
+            return True
+        return False
+
+    def unused_findings(self) -> List[Finding]:
+        out: List[Finding] = []
+        for lineno in sorted(self.by_line):
+            for rule in sorted(self.by_line[lineno]):
+                if (lineno, rule) in self.used:
+                    continue
+                out.append(
+                    Finding(
+                        rule="L101",
+                        severity="error",
+                        path=self.rel,
+                        line=lineno,
+                        col=1,
+                        message=f"suppression for {rule} does not match any finding",
+                        hint="remove the stale # repro-lint: disable marker",
+                    )
+                )
+        return out

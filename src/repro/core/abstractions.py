@@ -21,7 +21,7 @@ these interfaces, which is what makes policies reusable across both paths.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cluster_state import ClusterState
 from repro.core.job import Job
@@ -205,6 +205,17 @@ class ClusterManager:
         re-enables it -- to opt back in.
         """
         return None
+
+    def drain_applied(self) -> List[Tuple[float, object, Tuple[int, ...]]]:
+        """Events applied since the last drain, for the ``cluster`` trace kind.
+
+        Returns ``(applied time, event, evicted job ids)`` triples; managers
+        without an event stream (this default) report nothing.  The engine
+        drains once per round right after :meth:`update`, so emission is
+        read-only and schedule-neutral; wrapper managers must delegate to
+        their inner manager or the timeline's firings disappear from traces.
+        """
+        return []
 
 
 class MetricCollector:

@@ -372,7 +372,7 @@ class ClusterState:
                 self._busy_capacity -= gpu.gpu_type.compute_factor
             # Defensive: cover aux reserved outside reserve_aux on hosting nodes.
             aux_nodes.add(gpu.node_id)
-        for node_id in aux_nodes:
+        for node_id in sorted(aux_nodes):
             if node_id in self.nodes:
                 self.nodes[node_id].release_aux(job_id)
         return freed
@@ -519,7 +519,7 @@ class ClusterState:
             )
             assert listed == actual, f"per-node GPU list drifted for node {node_id}"
         for job_id, node_ids in self._aux_nodes_by_job.items():
-            for node_id in node_ids:
+            for node_id in sorted(node_ids):
                 assert node_id in self.nodes, (
                     f"aux index references removed node {node_id} for job {job_id}"
                 )

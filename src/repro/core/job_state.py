@@ -355,7 +355,7 @@ class JobState:
         """Assert the status indexes exactly partition the tracked jobs."""
         seen: Set[int] = set()
         for status, ids in self._by_status.items():
-            for job_id in ids:
+            for job_id in sorted(ids):
                 assert job_id in self._jobs, f"index references unknown job {job_id}"
                 assert self._jobs[job_id].status is status, (
                     f"job {job_id} indexed under {status} but has status "

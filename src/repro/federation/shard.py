@@ -77,6 +77,11 @@ class BoundedClusterManager(ClusterManager):
     def update(self, cluster_state: ClusterState, current_time: float) -> List[int]:
         return self.inner.update(cluster_state, current_time)
 
+    def drain_applied(self):
+        # Delegate so shard-scenario timeline firings reach the shard's
+        # trace stream (the bound is routing metadata, not a cluster event).
+        return self.inner.drain_applied()
+
     def next_event_time(self, current_time: float) -> Optional[float]:
         inner_next = self.inner.next_event_time(current_time)
         if self.bound is None:

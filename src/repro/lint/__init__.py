@@ -1,0 +1,10 @@
+"""``repro.lint``: the invariant linter's CLI package.
+
+Thin alias so the command is ``python -m repro.lint`` (symmetrical with
+``repro.bench`` / ``repro.trace``); the implementation lives in
+:mod:`repro.analysis`.
+"""
+
+from repro.analysis.cli import build_parser, main
+
+__all__ = ["build_parser", "main"]

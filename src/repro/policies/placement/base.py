@@ -48,7 +48,7 @@ class AvailabilityView:
             self._free_by_node.setdefault(gpu.node_id, []).append(gpu)
             self._total += 1
             dirty.add(gpu.node_id)
-        for node_id in dirty:
+        for node_id in sorted(dirty):
             self._free_by_node[node_id].sort(key=lambda g: g.local_gpu_id)
 
     def total_free(self) -> int:

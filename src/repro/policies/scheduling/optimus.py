@@ -24,6 +24,9 @@ class OptimusScheduling(SchedulingPolicy):
     """Largest-marginal-gain elastic GPU allocation."""
 
     name = "optimus"
+    # Explicit fast-forward contract (C101): marginal gains shift with every
+    # progress update, so decisions may change each round.
+    steady_state_safe = False
 
     def __init__(self, max_gpus_per_job: int = 32) -> None:
         if max_gpus_per_job < 1:

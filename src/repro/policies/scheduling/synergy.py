@@ -23,6 +23,9 @@ class SynergyScheduling(SchedulingPolicy):
     """Resource-sensitive FIFO ordering used by both Synergy modes."""
 
     name = "synergy"
+    # Explicit fast-forward contract (C101): arrival-ordered like FIFO, but
+    # the per-job demand metrics are refreshed on every invocation.
+    steady_state_safe = False
 
     def schedule(self, job_state: JobState, cluster_state: ClusterState) -> List[ScheduleEntry]:
         ordered = sorted(

@@ -25,6 +25,9 @@ class ThemisScheduling(SchedulingPolicy):
     """Prioritise jobs with the worst finish-time fairness."""
 
     name = "themis"
+    # Explicit fast-forward contract (C101): finish-time fairness depends on
+    # `now`, so priorities drift every round even with no job events.
+    steady_state_safe = False
 
     def __init__(self, fairness_knob: float = 0.8) -> None:
         if not 0.0 <= fairness_knob < 1.0:

@@ -146,6 +146,11 @@ class MembershipSyncManager(ClusterManager):
         self.lease_manager.sync_membership(cluster_state)
         return affected
 
+    def drain_applied(self):
+        # Without this delegation the timeline's firings would be invisible
+        # to telemetry on the deployment path.
+        return self.inner.drain_applied()
+
     def next_event_time(self, current_time: float) -> Optional[float]:
         if self._inner_unmigrated:
             return current_time

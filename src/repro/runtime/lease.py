@@ -215,7 +215,7 @@ class CentralLeaseManager(_LeaseManagerBase):
         """Run one round of lease traffic; returns the critical-path latency (ms)."""
         revoked = set(revoked_job_ids)
         self.channel.reset_accounting()
-        for job_id in revoked:
+        for job_id in sorted(revoked):
             if job_id in self._active_leases:
                 self._active_leases[job_id] = False
         for assignment in list(self.assignments.values()):
@@ -242,7 +242,7 @@ class CentralLeaseManager(_LeaseManagerBase):
                     caller=SCHEDULER_ENDPOINT,
                     idempotency_token=self._token(method, assignment.job_id),
                 )
-        for job_id in revoked:
+        for job_id in sorted(revoked):
             self.release(job_id)
             self._emit_lease("revoke", job_id, protocol=self.name)
         return self.critical_path_ms()

@@ -18,7 +18,7 @@ earlier event's effect.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.cluster.node import Node
 from repro.cluster.topology import p3_8xlarge_topology, uniform_topology
@@ -53,12 +53,24 @@ class ClusterEvent:
         """Mutate ``cluster_state``; returns ids of jobs losing their GPUs."""
         raise NotImplementedError
 
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe declarative fields for the ``cluster`` trace kind.
+
+        Only compile-time facts (which nodes, how many, what type) -- the
+        apply-time consequences (evicted jobs) are recorded separately by
+        the emitter, so a description never depends on cluster state.
+        """
+        return {}
+
 
 @dataclass(frozen=True)
 class NodeFailureEvent(ClusterEvent):
     """Mark nodes failed (crash, spot reclamation, maintenance entry)."""
 
     node_ids: Tuple[int, ...] = ()
+
+    def describe(self) -> Dict[str, object]:
+        return {"node_ids": list(self.node_ids)}
 
     def apply(self, cluster_state: ClusterState) -> List[int]:
         affected: List[int] = []
@@ -78,6 +90,9 @@ class NodeRecoveryEvent(ClusterEvent):
     """Bring previously failed nodes back into the schedulable pool."""
 
     node_ids: Tuple[int, ...] = ()
+
+    def describe(self) -> Dict[str, object]:
+        return {"node_ids": list(self.node_ids)}
 
     def apply(self, cluster_state: ClusterState) -> List[int]:
         for node_id in self.node_ids:
@@ -107,6 +122,13 @@ class ScaleOutEvent(ClusterEvent):
             raise ConfigurationError(f"num_nodes must be >= 1, got {self.num_nodes}")
         if self.gpus_per_node < 1:
             raise ConfigurationError(f"gpus_per_node must be >= 1, got {self.gpus_per_node}")
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "num_nodes": self.num_nodes,
+            "gpus_per_node": self.gpus_per_node,
+            "gpu_type": self.gpu_type,
+        }
 
     def apply(self, cluster_state: ClusterState) -> List[int]:
         next_id = max(cluster_state.nodes, default=-1) + 1
@@ -152,6 +174,9 @@ class ScaleInEvent(ClusterEvent):
         if self.num_nodes < 0:
             raise ConfigurationError(f"num_nodes must be >= 0, got {self.num_nodes}")
 
+    def describe(self) -> Dict[str, object]:
+        return {"node_ids": list(self.node_ids), "num_nodes": self.num_nodes}
+
     def apply(self, cluster_state: ClusterState) -> List[int]:
         if self.node_ids:
             targets = [n for n in self.node_ids if n in cluster_state.nodes]
@@ -178,6 +203,9 @@ class GpuUpgradeEvent(ClusterEvent):
 
     node_ids: Tuple[int, ...] = ()
     gpu_type: str = "a100"
+
+    def describe(self) -> Dict[str, object]:
+        return {"node_ids": list(self.node_ids), "gpu_type": self.gpu_type}
 
     def apply(self, cluster_state: ClusterState) -> List[int]:
         evicted: List[int] = []

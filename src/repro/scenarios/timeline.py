@@ -35,6 +35,12 @@ class TimelineClusterManager(ClusterManager):
         self.events_applied = 0
         #: ``(time, event kind, affected job ids)`` per applied event.
         self.applied_log: List[Tuple[float, str, Tuple[int, ...]]] = []
+        #: Full applied records ``(time, event, affected job ids)`` for the
+        #: telemetry drain; ``_drained`` is the cursor of what was already
+        #: reported, so each firing is emitted exactly once even across
+        #: checkpoint/restore (both lists pickle with the manager).
+        self._applied_events: List[Tuple[float, ClusterEvent, Tuple[int, ...]]] = []
+        self._drained = 0
 
     # ------------------------------------------------------------------
     # ClusterManager contract
@@ -49,6 +55,7 @@ class TimelineClusterManager(ClusterManager):
             ids = event.apply(cluster_state)
             self.events_applied += 1
             self.applied_log.append((current_time, event.kind, tuple(ids)))
+            self._applied_events.append((current_time, event, tuple(ids)))
             for job_id in ids:
                 if job_id not in affected:
                     affected.append(job_id)
@@ -66,6 +73,18 @@ class TimelineClusterManager(ClusterManager):
         if self._next >= len(self._events):
             return None
         return self._events[self._next].time
+
+    def drain_applied(self) -> List[Tuple[float, ClusterEvent, Tuple[int, ...]]]:
+        """Applied events not yet reported to telemetry (cursor advances).
+
+        Called by the engine once per round after :meth:`update`; the
+        returned triples become ``cluster`` trace events.  Purely a read of
+        already-recorded state -- draining (or never draining) cannot change
+        the schedule.
+        """
+        out = self._applied_events[self._drained :]
+        self._drained = len(self._applied_events)
+        return out
 
     # ------------------------------------------------------------------
     # Introspection

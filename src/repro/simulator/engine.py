@@ -43,7 +43,12 @@ from repro.core.job_state import JobState
 from repro.metrics.summary import SummaryStats, average, cdf_points, jct_summary
 from repro.simulator.execution import ExecutionModel
 from repro.simulator.overheads import OverheadModel
-from repro.telemetry.events import EVENT_DECISION, EVENT_EVICTION, EVENT_ROUND
+from repro.telemetry.events import (
+    EVENT_CLUSTER,
+    EVENT_DECISION,
+    EVENT_EVICTION,
+    EVENT_ROUND,
+)
 from repro.telemetry.recorder import TelemetryObserver, TraceRecorder
 
 
@@ -762,6 +767,21 @@ class Simulator:
 
                 # 1. Cluster membership changes (failures force a reschedule).
                 affected = mgr.update_cluster(self.cluster_state)
+                if self._recorder is not None:
+                    # Timeline firings become first-class `cluster` events.
+                    # Fast-forward always stops for cluster events, so this
+                    # per-round drain sees every firing; read-only, so
+                    # recording stays schedule-neutral.
+                    for applied_time, event, evicted in (
+                        mgr.cluster_manager.drain_applied()
+                    ):
+                        payload = {
+                            "event": event.kind,
+                            "scheduled_time": event.time,
+                            "evicted_jobs": list(evicted),
+                        }
+                        payload.update(event.describe())
+                        self._recorder.emit(EVENT_CLUSTER, applied_time, payload)
                 for job_id in affected:
                     if job_id in self.job_state:
                         job = self.job_state.get(job_id)

@@ -39,7 +39,9 @@ from typing import Dict, List, Mapping, NamedTuple, Optional, Tuple
 from repro.core.exceptions import ConfigurationError
 
 #: Bump on any incompatible change to the record layout below.
-SCHEMA_VERSION = 1
+#: v2: added the ``cluster`` event kind (scenario timeline firings).  v1
+#: traces remain readable -- the version gate only rejects *newer* files.
+SCHEMA_VERSION = 2
 
 # ---------------------------------------------------------------------------
 # Event kinds
@@ -56,6 +58,12 @@ EVENT_JOB = "job"
 EVENT_DECISION = "decision"
 #: A running job evicted by a cluster membership change.
 EVENT_EVICTION = "eviction"
+#: A scenario-timeline cluster event fired (NodeFailure / ScaleOut / ...).
+#: Payload: event kind, its scheduled time, the declarative event fields
+#: (node ids, counts, gpu type) and the evicted job ids.  Fully
+#: deterministic -- the timeline is compiled from the seed -- so replays
+#: must reproduce these bit-identically and ``trace diff`` checks them.
+EVENT_CLUSTER = "cluster"
 #: Federation router sent a gang to a shard.
 EVENT_ROUTE = "route"
 #: Lease protocol transition (grant / revoke / complete).

@@ -77,6 +77,13 @@ class RunSpec:
     #: router name from the router registry.
     shards: int = 2
     router: str = "round-robin"
+    #: Core mode only: run under a named scenario from the scenario registry.
+    #: The scenario then supplies cluster, workload, round duration and the
+    #: churn timeline (whose firings record as ``cluster`` events);
+    #: ``num_jobs``/``num_nodes``/... above are ignored.  ``scenario_smoke``
+    #: selects the registry's shrunk smoke variant.
+    scenario: Optional[str] = None
+    scenario_smoke: bool = False
 
     def __post_init__(self) -> None:
         from repro.federation.router import ROUTER_FACTORIES
@@ -95,6 +102,19 @@ class RunSpec:
             )
         if self.num_jobs < 1 or self.num_nodes < 1:
             raise TraceFormatError("num_jobs and num_nodes must be >= 1")
+        if self.scenario is not None:
+            from repro.scenarios.registry import scenario_names
+
+            if self.mode != "core":
+                raise TraceFormatError(
+                    "scenario runs are core-mode only (the runtime/federation "
+                    "paths wire their own scenario managers)"
+                )
+            if self.scenario not in scenario_names():
+                raise TraceFormatError(
+                    f"unknown scenario {self.scenario!r}; expected one of "
+                    f"{scenario_names()}"
+                )
         if self.mode == "federation":
             if self.shards < 1 or self.num_nodes % self.shards != 0:
                 raise TraceFormatError(
@@ -173,6 +193,24 @@ def run_recorded(
 
 def _run_core(spec: RunSpec, sink: TraceSink) -> None:
     from repro.simulator.engine import Simulator
+
+    if spec.scenario is not None:
+        from repro.scenarios.registry import get_scenario
+
+        compiled = get_scenario(spec.scenario, smoke=spec.scenario_smoke).compile(
+            seed=spec.seed
+        )
+        Simulator(
+            cluster_state=compiled.build_cluster(),
+            jobs=compiled.trace.fresh_jobs(),
+            scheduling_policy=_policy_factories()[spec.policy](),
+            placement_policy=_placement_factories()[spec.placement](),
+            round_duration=compiled.spec.round_duration,
+            cluster_manager=compiled.make_cluster_manager(),
+            tracked_job_ids=compiled.trace.tracked_ids(),
+            recorder=TraceRecorder(sink, source="sim"),
+        ).run()
+        return
 
     Simulator(
         cluster_state=spec._cluster(),

@@ -47,6 +47,17 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--round-duration", type=float, default=defaults.round_duration
     )
+    parser.add_argument(
+        "--scenario",
+        default=defaults.scenario,
+        help="core mode: run under this named scenario (records its churn "
+        "timeline as `cluster` events)",
+    )
+    parser.add_argument(
+        "--scenario-smoke",
+        action="store_true",
+        help="use the scenario's shrunk smoke variant",
+    )
 
 
 def _spec_from_args(args: argparse.Namespace) -> RunSpec:
@@ -61,6 +72,8 @@ def _spec_from_args(args: argparse.Namespace) -> RunSpec:
         round_duration=args.round_duration,
         shards=args.shards,
         router=args.router,
+        scenario=args.scenario,
+        scenario_smoke=args.scenario_smoke,
     )
 
 

@@ -18,7 +18,11 @@ Checks, for ``README.md`` and every ``docs/*.md``:
   anywhere (prose *and* fenced code blocks) resolves to a real module under
   ``src/`` that is runnable (a package with ``__main__.py``, or a plain
   module), so documented entry points like ``python -m repro.trace`` break
-  CI when they move.
+  CI when they move;
+* **lint rule ids** -- every rule id documented in
+  ``docs/static-analysis.md`` exists in ``repro.analysis.rule_catalog()``,
+  and every registered rule is documented there, so the rule catalog and its
+  reference page cannot drift apart.
 
 External ``http(s)://`` / ``mailto:`` links are skipped (CI has no network
 guarantee).  Exit status is the number of broken references; the CLI smoke
@@ -140,6 +144,36 @@ def check_file(md_path: Path) -> List[str]:
     return errors
 
 
+#: Rule ids as they appear in docs/static-analysis.md prose and tables.
+RULE_ID_RE = re.compile(r"`([A-Z]\d{3})`")
+
+
+def check_lint_rule_ids() -> List[str]:
+    """docs/static-analysis.md and ``repro.analysis.rule_catalog()`` agree."""
+    doc = REPO_ROOT / "docs" / "static-analysis.md"
+    if not doc.exists():
+        return ["missing documentation file: docs/static-analysis.md"]
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    try:
+        from repro.analysis import rule_catalog
+    except Exception as exc:  # pragma: no cover - import environment issues
+        return [f"docs/static-analysis.md: cannot import repro.analysis ({exc})"]
+    finally:
+        sys.path.pop(0)
+    registered = set(rule_catalog())
+    documented = set(RULE_ID_RE.findall(doc.read_text()))
+    errors = [
+        f"docs/static-analysis.md: documents unknown rule id `{rule}` "
+        "(not in repro.analysis.rule_catalog())"
+        for rule in sorted(documented - registered)
+    ]
+    errors.extend(
+        f"docs/static-analysis.md: registered rule `{rule}` is undocumented"
+        for rule in sorted(registered - documented)
+    )
+    return errors
+
+
 def main() -> int:
     files = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
     missing = [f for f in files if not f.exists()]
@@ -149,6 +183,7 @@ def main() -> int:
     for md_path in files:
         if md_path.exists():
             errors.extend(check_file(md_path))
+    errors.extend(check_lint_rule_ids())
     if errors:
         print(f"check_docs: {len(errors)} broken reference(s)", file=sys.stderr)
         for error in errors:
