@@ -49,6 +49,16 @@ def main(argv=None) -> int:
         ),
     )
     mode.add_argument(
+        "--events",
+        action="store_true",
+        help=(
+            "run only the event-core benchmark: event-driven engine vs the "
+            "round-loop oracle (long-horizon speedup cell, scenario and "
+            "policy parity matrices); merges an 'event_core' section into "
+            "BENCH_core.json"
+        ),
+    )
+    mode.add_argument(
         "--chaos",
         action="store_true",
         help=(
@@ -142,6 +152,23 @@ def main(argv=None) -> int:
             runtime_out="BENCH_runtime.json" if write else None,
             started_at=time.time(),
         )
+    elif args.events:
+        from repro.bench.event_bench import run_event_bench
+
+        section = run_event_bench(smoke=args.smoke)
+        report = {"event_core": section}
+        if out_path is not None:
+            # Merge into the existing core report rather than clobbering it:
+            # the event bench is a section of BENCH_core.json, not a file.
+            try:
+                with open(out_path) as handle:
+                    report = json.load(handle)
+            except (OSError, ValueError):
+                report = {}
+            report["event_core"] = section
+            with open(out_path, "w") as handle:
+                json.dump(report, handle, indent=2, sort_keys=False)
+                handle.write("\n")
     elif args.runtime:
         report = run_runtime_bench(
             smoke=args.smoke, out_path=out_path, started_at=time.time()
@@ -222,7 +249,7 @@ def main(argv=None) -> int:
         if failed:
             print(f"federation bench FAILED: {', '.join(failed)}", file=sys.stderr)
             return 1
-    if not (args.chaos or args.runtime or args.federation):
+    if not (args.chaos or args.runtime or args.federation or args.events):
         telemetry = report["telemetry"]
         if telemetry["gated"] and not telemetry["overhead_ok"]:
             print(

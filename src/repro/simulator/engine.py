@@ -161,12 +161,17 @@ class Simulator:
         allow_empty_workload: bool = False,
         recorder: Optional["TraceRecorder"] = None,
         round_log_limit: Optional[int] = None,
+        engine: str = "rounds",
     ) -> None:
         from repro.policies.admission.accept_all import AcceptAll
         from repro.policies.placement.consolidated import ConsolidatedPlacement
 
         if max_rounds < 1:
             raise ConfigurationError("max_rounds must be >= 1")
+        if engine not in ("rounds", "events"):
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; expected 'rounds' or 'events'"
+            )
 
         self.cluster_state = cluster_state
         self.job_state = job_state if job_state is not None else JobState()
@@ -276,6 +281,22 @@ class Simulator:
         )
         self._eviction_count = 0
         self._wall_time = 0.0
+
+        # Engine selection.  ``rounds`` is the classic loop and the
+        # differential oracle; ``events`` swaps the three skip executors
+        # (light rounds, steady strides, the gang chain) for the event-heap
+        # core (repro.simulator.event_core), which batches the skipped rounds
+        # around a heap of (round, kind, id) events.  Both engines share
+        # every full-round step and every skip-eligibility *decision* -- the
+        # event core only replaces skip *execution* -- which is what makes
+        # "event-driven == round-loop bit-identical" provable surface by
+        # surface rather than hoped for.
+        self.engine = engine
+        self._event_core = None
+        if engine == "events":
+            from repro.simulator.event_core import EventCore
+
+            self._event_core = EventCore(self)
 
         # Telemetry is opt-in and read-only: the recorder hooks only observe
         # state (never draw RNG or mutate anything), so a traced run stays
@@ -464,6 +485,8 @@ class Simulator:
                         not entry_bounds
                         or min(entry_bounds) - mgr.current_time > 1 * mgr.round_duration
                     ):
+                        if self._event_core is not None:
+                            return self._event_core.chain(round_log)
                         return self._fast_forward_chain(round_log)
                 # Not accelerable (collectors or jitter), or a short window:
                 # fall through to the classic per-round loop, which breaks at
@@ -517,8 +540,29 @@ class Simulator:
         horizon = min(bounds) if bounds else math.inf
 
         if steady_mode:
+            if self._event_core is not None:
+                return self._event_core.steady(horizon, round_log)
             return self._fast_forward_steady(horizon, round_log)
+        if self._event_core is not None:
+            return self._event_core.light(horizon, running, round_log)
+        return self._fast_forward_light(horizon, running, round_log)
 
+    def _fast_forward_light(
+        self,
+        horizon: float,
+        running: int,
+        round_log: List[RoundRecord],
+    ) -> bool:
+        """The classic per-round light loop: advance + log, nothing else.
+
+        Handles the skip cases the batched executors do not claim: idle
+        stretches observed by collectors, short gang-steady windows (where
+        the chain's bookkeeping costs more than it saves) and the
+        decision-stable path when strides are not accelerable.  Breaks back
+        to the full loop as soon as a completion changes the steady state.
+        """
+        mgr = self.manager
+        job_state = self.job_state
         while (
             mgr.round_number + 1 < self.max_rounds
             and mgr.current_time + mgr.round_duration < horizon

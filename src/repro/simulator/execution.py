@@ -17,7 +17,12 @@ policies "on a common footing" as the paper argues.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
+
+try:  # pragma: no cover - exercised indirectly via advance_steady_bulk
+    import numpy as _np
+except ImportError:  # pragma: no cover - the scalar path is always available
+    _np = None
 
 from repro.core.abstractions import TerminationPolicy
 from repro.core.cluster_state import ClusterState
@@ -30,6 +35,11 @@ from repro.simulator.overheads import OverheadModel
 #: slower networks grow it -- this is what flips the Tiresias placement result
 #: when moving from 100 Gbps P100 clusters to 10 Gbps V100 clusters (Fig. 10).
 REFERENCE_NETWORK_BW_GBPS = 40.0
+
+#: Below this many jobs the per-round numpy call overhead exceeds the scalar
+#: loop it replaces; elementwise float64 adds are bit-identical either way,
+#: so the threshold is purely a speed knob.
+BULK_NUMPY_MIN_JOBS = 16
 
 
 @dataclass
@@ -220,17 +230,66 @@ class ExecutionModel:
         if rate <= 0:
             return None
         target = self.termination.work_target(job)
-        work = job.work_done
-        pending = job.pending_overhead
-        for i in range(1, max_rounds + 1):
+        completing, _work, _pending = self.steady_scan(
+            target, rate, round_duration, job.work_done, job.pending_overhead, max_rounds
+        )
+        return completing
+
+    @staticmethod
+    def steady_scan(
+        target: float,
+        rate: float,
+        round_duration: float,
+        work: float,
+        pending: float,
+        max_rounds: int,
+    ) -> Tuple[Optional[int], float, float]:
+        """Resumable form of :meth:`steady_completion_round`'s replay.
+
+        Replays up to ``max_rounds`` rounds of the per-round accounting from
+        the explicit ``(work, pending)`` state and returns
+        ``(completing_round, work, pending)`` where ``completing_round`` is
+        1-based within *this* scan or ``None``.  When no completion is found
+        the returned state is exactly the state after ``max_rounds`` rounds,
+        so a caller can resume the scan later from where it stopped -- the
+        event core's completion-probe cache uses this to amortise probing
+        across fast-forward entries (each round of a job's life is scanned at
+        most once per allocation epoch).  On a completion the returned state
+        is mid-round and must not be resumed from.
+
+        The per-round operations are identical, in identical order, to
+        :meth:`advance` under a constant rate -- that identity is what lets a
+        probe taken rounds ago still name the exact absolute completion
+        round, because every execution path (full rounds, steady strides,
+        deferred flushes) replays this same fold.
+        """
+        if rate <= 0:
+            return None, work, pending
+        # General fold only while overhead is draining; once pending hits
+        # exactly 0.0 every later round has overhead_used == 0.0 and
+        # available == round_duration, so the loop switches to a fast fold
+        # with constant operands and no min/max calls -- identical values,
+        # identical float-operation order.
+        i = 1
+        while i <= max_rounds and pending != 0.0:
             overhead_used = min(pending, round_duration)
             pending -= overhead_used
             available = round_duration - overhead_used
             remaining = max(0.0, target - work)
             if remaining / rate <= available:
-                return i
+                return i, work, pending
             work += available * rate
-        return None
+            i += 1
+        work_delta = round_duration * rate
+        while i <= max_rounds:
+            remaining = target - work
+            if remaining < 0.0:
+                remaining = 0.0
+            if remaining / rate <= round_duration:
+                return i, work, pending
+            work += work_delta
+            i += 1
+        return None, work, pending
 
     def advance_steady(
         self,
@@ -278,7 +337,16 @@ class ExecutionModel:
         attained = job.attained_service
         pending = job.pending_overhead
         completed = False
-        for index in range(rounds):
+        overhead_used = 0.0
+        compute_seconds = 0.0
+        # General fold only while overhead drains (or the rate is
+        # non-positive); once pending hits exactly 0.0 with a positive rate,
+        # every later round has overhead_used == 0.0 and available ==
+        # round_duration, so the loop switches to a fast fold of two adds per
+        # non-completing round with constant operands and no min/max calls.
+        # Both arms perform identical float operations in identical order.
+        index = 0
+        while index < rounds and (pending != 0.0 or rate <= 0):
             overhead_used = min(pending, round_duration)
             pending -= overhead_used
             available = round_duration - overhead_used
@@ -304,6 +372,29 @@ class ExecutionModel:
                         f"of {rounds}; the stride was sized past its completion"
                     )
                 break
+            index += 1
+        if not completed and index < rounds:
+            work_delta = round_duration * rate
+            service_delta = num_gpus * (round_duration + 0.0)
+            overhead_used = 0.0
+            while index < rounds:
+                remaining = target - work
+                if remaining < 0.0:
+                    remaining = 0.0
+                compute_seconds = remaining / rate
+                if compute_seconds <= round_duration:
+                    completed = True
+                    work += remaining
+                    attained += num_gpus * (compute_seconds + 0.0)
+                    if index != rounds - 1:
+                        raise SimulationError(
+                            f"job {job.job_id} completed in stride round {index + 1} "
+                            f"of {rounds}; the stride was sized past its completion"
+                        )
+                    break
+                work += work_delta
+                attained += service_delta
+                index += 1
         job.work_done = work
         job.attained_service = attained
         job.pending_overhead = pending
@@ -312,6 +403,114 @@ class ExecutionModel:
             job.completion_time = final_round_start + overhead_used + compute_seconds
             job.status = JobStatus.COMPLETED
         return completed
+
+    def advance_steady_bulk(
+        self,
+        jobs: Sequence[Job],
+        cluster_state: ClusterState,
+        final_round_start: float,
+        round_duration: float,
+        rounds: int,
+    ) -> None:
+        """Advance many running jobs ``rounds`` steady rounds each, batched.
+
+        Bit-identical to calling :meth:`advance_steady` per job in ``jobs``
+        order, but the common case -- no pending overhead, positive rate, no
+        completion inside the stride -- collapses each job's round loop to two
+        float additions per round with constant, precomputed deltas (the
+        per-round operands never change once the overhead is drained), and
+        vectorises those additions across jobs with numpy when the batch is
+        large (elementwise IEEE-754 float64 adds are bit-identical to the
+        scalar fold).
+
+        Callers size ``rounds`` strictly before every job's probed completion
+        round; the fast path *verifies* that claim rather than trusting it.
+        The per-round completion test ``remaining / rate <= available`` is
+        monotone along the stride (work never decreases, so remaining never
+        increases), so testing it once at the final round with the exact
+        values the classic loop would use proves every earlier round took the
+        no-completion arm.  Any job failing the check -- or carrying pending
+        overhead -- is replayed through :meth:`advance_steady`, preserving its
+        exact completion/error semantics.
+        """
+        if rounds <= 0:
+            return
+        fast: list = []  # (job, rate, num_gpus) for the pure constant-delta fold
+        for job in jobs:
+            if job.status != JobStatus.RUNNING:
+                raise SimulationError(
+                    f"cannot advance job {job.job_id} in status {job.status}"
+                )
+            rate, fragmented, num_gpus = self.cached_rate(job, cluster_state)
+            if not num_gpus:
+                raise SimulationError(f"running job {job.job_id} holds no GPUs")
+            if job.pending_overhead != 0.0:
+                # Overhead rounds change the per-round operands; rare (the
+                # launch round's full advance usually drains it), so the
+                # classic replay is fine.
+                self.advance_steady(
+                    job, cluster_state, final_round_start, round_duration, rounds
+                )
+                continue
+            if fragmented:
+                job.metrics["was_fragmented"] = True
+            if rate <= 0:
+                # Every round adds exactly 0.0 work and 0.0 service; the fold
+                # is a no-op regardless of length (and such a job can never
+                # complete), so only the end-of-stride metric flush remains.
+                self._update_app_metrics(job, rate)
+                continue
+            fast.append((job, rate, num_gpus))
+        if not fast:
+            return
+
+        work_delta = [round_duration * rate for _job, rate, _n in fast]
+        service_delta = [
+            # advance() computes num_gpus * (compute_seconds + overhead_used);
+            # with overhead 0.0 that inner sum is exactly round_duration.
+            num_gpus * (round_duration + 0.0)
+            for _job, _rate, num_gpus in fast
+        ]
+        if _np is not None and len(fast) >= BULK_NUMPY_MIN_JOBS:
+            works = _np.array([job.work_done for job, _r, _n in fast])
+            services = _np.array([job.attained_service for job, _r, _n in fast])
+            wdelta = _np.array(work_delta)
+            sdelta = _np.array(service_delta)
+            for _ in range(rounds - 1):
+                _np.add(works, wdelta, out=works)
+                _np.add(services, sdelta, out=services)
+            final_work = [float(v) for v in works]
+            final_service = [float(v) for v in services]
+        else:
+            final_work = [job.work_done for job, _r, _n in fast]
+            final_service = [job.attained_service for job, _r, _n in fast]
+            for index in range(len(fast)):
+                work = final_work[index]
+                service = final_service[index]
+                wdelta_i = work_delta[index]
+                sdelta_i = service_delta[index]
+                for _ in range(rounds - 1):
+                    work += wdelta_i
+                    service += sdelta_i
+                final_work[index] = work
+                final_service[index] = service
+
+        for index, (job, rate, _num_gpus) in enumerate(fast):
+            # Completion-safety check at the stride's final round, with the
+            # exact operands the classic loop's test would use there.
+            target = self.termination.work_target(job)
+            remaining = max(0.0, target - final_work[index])
+            if remaining / rate <= round_duration:
+                # A completion (or the stride-overrun error) belongs inside
+                # the stride after all: hand the untouched job to the exact
+                # replay.  Monotonicity means only this job is affected.
+                self.advance_steady(
+                    job, cluster_state, final_round_start, round_duration, rounds
+                )
+                continue
+            job.work_done = final_work[index] + work_delta[index]
+            job.attained_service = final_service[index] + service_delta[index]
+            self._update_app_metrics(job, rate)
 
     def _update_app_metrics(self, job: Job, rate: float) -> None:
         """Push the application-level metrics the paper's schedulers consume."""

@@ -84,12 +84,22 @@ class RunSpec:
     #: selects the registry's shrunk smoke variant.
     scenario: Optional[str] = None
     scenario_smoke: bool = False
+    #: Simulation engine: the classic round loop (``rounds``, the
+    #: differential oracle) or the event-heap core (``events``).  Both must
+    #: produce bit-identical schedules, so a trace recorded under one engine
+    #: replays cleanly under either -- but the engine is part of the spec so
+    #: a replay re-drives the run exactly as recorded.
+    engine: str = "rounds"
 
     def __post_init__(self) -> None:
         from repro.federation.router import ROUTER_FACTORIES
 
         if self.mode not in MODES:
             raise TraceFormatError(f"unknown run mode {self.mode!r}; expected {MODES}")
+        if self.engine not in ("rounds", "events"):
+            raise TraceFormatError(
+                f"unknown engine {self.engine!r}; expected 'rounds' or 'events'"
+            )
         if self.policy not in _policy_factories():
             raise TraceFormatError(
                 f"unknown policy {self.policy!r}; expected one of "
@@ -209,6 +219,7 @@ def _run_core(spec: RunSpec, sink: TraceSink) -> None:
             cluster_manager=compiled.make_cluster_manager(),
             tracked_job_ids=compiled.trace.tracked_ids(),
             recorder=TraceRecorder(sink, source="sim"),
+            engine=spec.engine,
         ).run()
         return
 
@@ -219,6 +230,7 @@ def _run_core(spec: RunSpec, sink: TraceSink) -> None:
         placement_policy=_placement_factories()[spec.placement](),
         round_duration=spec.round_duration,
         recorder=TraceRecorder(sink, source="sim"),
+        engine=spec.engine,
     ).run()
 
 
@@ -235,6 +247,7 @@ def _run_runtime(spec: RunSpec, sink: TraceSink) -> None:
         lease_protocol="optimistic",
         overhead_model=OverheadModel(),
         recorder=TraceRecorder(sink, source="runtime"),
+        engine=spec.engine,
     ).run()
 
 
@@ -254,6 +267,7 @@ def _run_federation(spec: RunSpec, sink: TraceSink) -> None:
                 placement_policy=_placement_factories()[spec.placement](),
                 round_duration=spec.round_duration,
                 recorder=TraceRecorder(sink, source=f"shard{shard_id}"),
+                engine=spec.engine,
             )
         )
     FederationEngine(

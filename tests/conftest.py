@@ -1,0 +1,35 @@
+"""Shared pytest wiring: the ``fuzz`` marker and its ``--fuzz`` opt-in.
+
+Tier-1 (plain ``pytest``) runs every test except those marked ``fuzz``,
+which keeps the default wall time flat; ``pytest --fuzz`` additionally runs
+the wide randomized parity sweeps (see ``test_event_parity_fuzz.py``).  The
+fixed fuzz corpus is *not* marked and always runs, so tier-1 still carries a
+differential check per drawn dimension.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz",
+        action="store_true",
+        default=False,
+        help="also run the wide randomized parity sweeps (marker: fuzz)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "fuzz: wide randomized differential sweep; skipped unless --fuzz is given",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--fuzz"):
+        return
+    skip_fuzz = pytest.mark.skip(reason="wide fuzz sweep; opt in with --fuzz")
+    for item in items:
+        if "fuzz" in item.keywords:
+            item.add_marker(skip_fuzz)
